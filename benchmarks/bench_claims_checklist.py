@@ -1,0 +1,15 @@
+"""The full reproduction claim checklist in one artifact.
+
+Runs :func:`repro.sim.validate.validate_all` -- the machine-readable version
+of EXPERIMENTS.md -- and renders the per-claim verdicts.  Any model-stack
+regression that moves a result out of its acceptance band fails here.
+"""
+
+from repro.sim.validate import report, validate_all
+
+
+def test_claims_checklist(benchmark, executor, emit):
+    claims = benchmark.pedantic(lambda: validate_all(executor), rounds=1, iterations=1)
+    emit("claims_checklist", report(claims))
+    failing = [c for c in claims if not c.passed]
+    assert not failing, f"failing claims: {[(c.exp_id, c.name) for c in failing]}"

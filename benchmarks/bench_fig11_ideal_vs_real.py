@@ -1,0 +1,50 @@
+"""Figure 11: validating the Ideal models against "real" hardware models.
+
+Paper's two properties: (1) the Ideal 32-core / Ideal GPU are always faster
+than their real counterparts (they are upper bounds); (2) on real hardware
+the GPU loses to the multicore on two of five benchmarks (Allstate, Mq2008),
+confirming that irregularity limits real GPUs.
+"""
+
+from repro.sim.report import render_table
+
+SYSTEMS = ["ideal-32-core", "real-32-core", "ideal-gpu", "real-gpu", "booster"]
+
+
+def test_fig11_ideal_vs_real(benchmark, executor, emit):
+    def build():
+        out = {}
+        for name in executor.all_datasets():
+            cmp = executor.compare(name, systems=SYSTEMS)
+            base = cmp.seconds("ideal-32-core")
+            out[name] = {s: cmp.seconds(s) / base for s in SYSTEMS}
+        return out
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for name, t in data.items():
+        rows.append(
+            [
+                name,
+                f"{t['ideal-32-core']:.2f}",
+                f"{t['real-32-core']:.2f}",
+                f"{t['ideal-gpu']:.2f}",
+                f"{t['real-gpu']:.2f}",
+                f"{t['booster']:.3f}",
+                "yes" if t["real-gpu"] > t["real-32-core"] else "no",
+            ]
+        )
+    table = render_table(
+        ["dataset", "Ideal 32", "Real 32", "Ideal GPU", "Real GPU", "Booster", "GPU loses?"],
+        rows,
+        title="Fig. 11 -- execution time normalized to Ideal 32-core "
+        "(paper: real GPU loses on Allstate and Mq2008)",
+    )
+    emit("fig11_ideal_vs_real", table)
+
+    losers = [n for n, t in data.items() if t["real-gpu"] > t["real-32-core"]]
+    assert sorted(losers) == ["allstate", "mq2008"]
+    for name, t in data.items():
+        assert t["real-32-core"] >= t["ideal-32-core"], name
+        assert t["real-gpu"] >= t["ideal-gpu"], name
+        assert t["ideal-gpu"] < t["ideal-32-core"], name  # ideal GPU always wins

@@ -1,0 +1,51 @@
+"""Figure 6: XGBoost sequential execution-time breakdown.
+
+Paper claims: steps 1 (histogram binning), 3 (single-predicate), and
+5 (one-tree traversal) constitute over 98% of sequential run time except for
+Mq2008; IoT is the most step-1-heavy because of its shallow trees.
+"""
+
+from repro.sim.report import render_table
+
+
+def test_fig6_sequential_breakdown(benchmark, executor, emit):
+    def build():
+        rows = []
+        shares = {}
+        for name in executor.all_datasets():
+            st = executor.model("sequential").training_times(executor.profile(name))
+            total = st.total
+            shares[name] = {
+                "s1": st.step1 / total,
+                "s2": st.step2 / total,
+                "s3": st.step3 / total,
+                "s5": st.step5 / total,
+            }
+            rows.append(
+                [
+                    name,
+                    f"{100 * st.step1 / total:.1f}%",
+                    f"{100 * st.step2 / total:.2f}%",
+                    f"{100 * st.step3 / total:.1f}%",
+                    f"{100 * st.step5 / total:.1f}%",
+                    f"{total / 60:.1f} min",
+                ]
+            )
+        return rows, shares
+
+    rows, shares = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        ["dataset", "step1", "step2", "step3", "step5", "total (paper-scale)"],
+        rows,
+        title="Fig. 6 -- sequential training-time breakdown "
+        "(paper: steps 1/3/5 >98% except Mq2008; IoT step-1-heavy)",
+    )
+    emit("fig6_seq_breakdown", table)
+
+    for name in ("iot", "higgs", "allstate", "flight"):
+        s = shares[name]
+        assert s["s1"] + s["s3"] + s["s5"] > 0.95, name
+    # Mq2008's step-2 share is the largest of the five.
+    assert shares["mq2008"]["s2"] == max(s["s2"] for s in shares.values())
+    # IoT is the most step-1-dominated benchmark.
+    assert shares["iot"]["s1"] == max(s["s1"] for s in shares.values())

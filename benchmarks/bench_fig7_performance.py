@@ -1,0 +1,59 @@
+"""Figure 7: training speedups over the Ideal 32-core baseline.
+
+Paper: Ideal GPU 1.6-1.9x; IR modest; Booster 4.6x (Flight) to 30.6x (IoT),
+geometric mean 11.4x (6.4x over the Ideal GPU).
+"""
+
+from repro.sim import geomean
+from repro.sim.report import render_table
+
+PAPER_SPEEDUPS = {"iot": 30.6, "flight": 4.6}  # published per-benchmark points
+
+
+def test_fig7_training_speedups(benchmark, executor, emit):
+    def build():
+        out = {}
+        for name in executor.all_datasets():
+            cmp = executor.compare(name)
+            out[name] = {
+                "gpu": cmp.speedup("ideal-gpu"),
+                "ir": cmp.speedup("inter-record"),
+                "booster": cmp.speedup("booster"),
+            }
+        return out
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for name, d in data.items():
+        paper = PAPER_SPEEDUPS.get(name)
+        rows.append(
+            [
+                name,
+                f"{d['gpu']:.2f}x",
+                f"{d['ir']:.2f}x",
+                f"{d['booster']:.2f}x",
+                f"{paper:.1f}x" if paper else "-",
+            ]
+        )
+    g_b = geomean(d["booster"] for d in data.values())
+    g_g = geomean(d["gpu"] for d in data.values())
+    g_over_gpu = geomean(d["booster"] / d["gpu"] for d in data.values())
+    rows.append(["geomean", f"{g_g:.2f}x", "-", f"{g_b:.2f}x", "11.4x"])
+    table = render_table(
+        ["dataset", "Ideal GPU", "Inter-record", "Booster", "paper (Booster)"],
+        rows,
+        title=(
+            "Fig. 7 -- speedup over Ideal 32-core "
+            f"(Booster over Ideal GPU geomean: {g_over_gpu:.2f}x, paper 6.4x)"
+        ),
+    )
+    emit("fig7_performance", table)
+
+    booster = {k: v["booster"] for k, v in data.items()}
+    assert max(booster, key=booster.get) == "iot"
+    assert min(booster, key=booster.get) == "flight"
+    assert 8.0 < g_b < 16.0  # paper: 11.4x
+    assert 4.0 < g_over_gpu < 10.0  # paper: 6.4x
+    for name, d in data.items():
+        assert 1.4 < d["gpu"] < 2.0, name

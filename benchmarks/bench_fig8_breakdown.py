@@ -1,0 +1,55 @@
+"""Figure 8: execution-time breakdown normalized to Ideal 32-core.
+
+Paper: the Ideal GPU shrinks the three accelerated steps modestly and leaves
+step 2 alone; Booster makes the accelerated steps vanishingly small, leaving
+a residual dominated by the unaccelerated step 2 / offload path.
+"""
+
+from repro.sim.report import render_table
+
+SYSTEMS = ["ideal-32-core", "ideal-gpu", "booster"]
+
+
+def test_fig8_execution_breakdown(benchmark, executor, emit):
+    def build():
+        out = {}
+        for name in executor.all_datasets():
+            cmp = executor.compare(name, systems=SYSTEMS)
+            out[name] = {s: cmp.normalized_breakdown(s) for s in SYSTEMS}
+        return out
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for name, by_system in data.items():
+        for system in SYSTEMS:
+            nb = by_system[system]
+            rows.append(
+                [
+                    name if system == SYSTEMS[0] else "",
+                    system,
+                    f"{nb['step1']:.3f}",
+                    f"{nb['step2']:.3f}",
+                    f"{nb['step3']:.3f}",
+                    f"{nb['step5']:.3f}",
+                    f"{nb['other']:.3f}",
+                    f"{nb['total']:.3f}",
+                ]
+            )
+    table = render_table(
+        ["dataset", "system", "step1", "step2", "step3", "step5", "other", "total"],
+        rows,
+        title="Fig. 8 -- per-step time normalized to Ideal 32-core total",
+    )
+    emit("fig8_breakdown", table)
+
+    for name, by_system in data.items():
+        gpu = by_system["ideal-gpu"]
+        booster = by_system["booster"]
+        # GPU halves the parallel steps, cannot touch step 2.
+        assert 0.4 < gpu["step1"] / by_system["ideal-32-core"]["step1"] < 0.6, name
+        assert gpu["step2"] >= by_system["ideal-32-core"]["step2"] * 0.99, name
+        # Booster's accelerated steps are far smaller than the baseline's.
+        base135 = sum(by_system["ideal-32-core"][k] for k in ("step1", "step3", "step5"))
+        mine135 = sum(booster[k] for k in ("step1", "step3", "step5"))
+        assert mine135 < 0.35 * base135, name

@@ -1,0 +1,39 @@
+"""Figure 9: isolating Booster's optimizations.
+
+Three Booster variants over the Ideal 32-core: (1) no-opts (naive bin
+packing, row-major only), (2) + group-by-field mapping (helps only the
+categorical benchmarks, Allstate/Flight), (3) + redundant column-major
+format (helps everywhere, most where speedups are already high).
+"""
+
+from repro.sim.report import render_table
+
+VARIANTS = ["booster-no-opts", "booster-group-by-field", "booster"]
+
+
+def test_fig9_optimization_ablation(benchmark, executor, emit):
+    def build():
+        out = {}
+        for name in executor.all_datasets():
+            cmp = executor.compare(name, systems=["ideal-32-core"] + VARIANTS)
+            out[name] = [cmp.speedup(v) for v in VARIANTS]
+        return out
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [name, f"{no:.2f}x", f"{gf:.2f}x", f"{full:.2f}x"]
+        for name, (no, gf, full) in data.items()
+    ]
+    table = render_table(
+        ["dataset", "no-opts", "+group-by-field", "+column format"],
+        rows,
+        title="Fig. 9 -- contribution of Booster's optimizations (speedup over Ideal 32-core)",
+    )
+    emit("fig9_optimizations", table)
+
+    for name, (no, gf, full) in data.items():
+        assert no <= gf * 1.001 <= full * 1.001, name
+    # Mapping helps exactly the categorical benchmarks (Sec. V-C).
+    assert data["allstate"][1] > data["allstate"][0] * 1.05
+    for name in ("iot", "higgs", "mq2008"):
+        assert abs(data[name][1] - data[name][0]) / data[name][0] < 0.02

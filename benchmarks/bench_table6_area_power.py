@@ -1,0 +1,49 @@
+"""Table VI: ASIC area and power estimates for the 3200-BU Booster chip.
+
+Paper (45 nm, 1 GHz): control 8.4 mm^2 / 4.3 W, FPU 18.4 / 9.5, SRAM
+33.1 / 9.4, total 60.0 mm^2 / 23.2 W.  The model is calibrated at this design
+point and must land within 2%.
+"""
+
+import pytest
+
+from repro.energy import TABLE6, AreaPowerModel
+from repro.sim.report import render_table
+
+
+def test_table6_area_power(benchmark, emit):
+    model = AreaPowerModel()
+    budget = benchmark(model.estimate)
+    paper = [TABLE6["control"], TABLE6["fpu"], TABLE6["sram"], TABLE6["total"]]
+    rows = []
+    for (name, area, power), (ref_a, ref_p) in zip(budget.rows(), paper):
+        rows.append([name, f"{area:.1f}", f"{ref_a:.1f}", f"{power:.1f}", f"{ref_p:.1f}"])
+    table = render_table(
+        ["component", "area mm2", "paper", "power W", "paper"],
+        rows,
+        title="Table VI -- Booster ASIC area/power (45 nm, 1 GHz)",
+    )
+    emit("table6_area_power", table)
+    assert budget.total_mm2 == pytest.approx(60.0, rel=0.02)
+    assert budget.total_w == pytest.approx(23.2, rel=0.02)
+
+
+def test_table6_banking_facts(benchmark, emit):
+    # The two structural claims behind the SRAM row (Sec. V-G): 3200 banks
+    # cost ~70% more area and ~59% more power than a 1-bank 6.4 MB array.
+    model = AreaPowerModel()
+    many = benchmark(model.estimate)
+    one = model.estimate(n_bus=1, n_clusters=1, sram_bytes=3200 * 2048)
+    area_ratio = many.sram_mm2 / one.sram_mm2
+    power_ratio = many.sram_w / one.sram_w
+    table = render_table(
+        ["quantity", "model", "paper"],
+        [
+            ["3200-bank / 1-bank SRAM area", f"{area_ratio:.2f}", "~1.70"],
+            ["3200-bank / 1-bank SRAM power", f"{power_ratio:.2f}", "~1.59"],
+        ],
+        title="Table VI (cont.) -- SRAM banking overheads",
+    )
+    emit("table6_banking", table)
+    assert area_ratio == pytest.approx(1.70, rel=0.03)
+    assert power_ratio == pytest.approx(1.59, rel=0.03)

@@ -1,0 +1,33 @@
+"""repro: reproduction of *Booster: An Accelerator for Gradient Boosting
+Decision Trees* (He, Vijaykumar, Thottethodi; arXiv:2011.02022).
+
+Layered design (see DESIGN.md):
+
+* ``repro.datasets`` -- benchmark schemas, synthetic generators, memory layouts;
+* ``repro.gbdt``     -- from-scratch instrumented histogram-GBDT trainer;
+* ``repro.memory``   -- cycle-level DRAM model (Table IV configuration);
+* ``repro.core``     -- the Booster accelerator model (the paper's contribution);
+* ``repro.baselines``-- Ideal/Real 32-core, Ideal/Real GPU, Inter-record ASIC;
+* ``repro.energy``   -- CACTI-like SRAM model, DRAM energy, ASIC area/power;
+* ``repro.sim``      -- end-to-end experiment executor and report rendering.
+
+Quickstart::
+
+    from repro import quick_compare
+    result = quick_compare("higgs")
+    print(result.table())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["quick_compare", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy import keeps `import repro.datasets` cheap and avoids importing
+    # the whole simulator stack for dataset-only users.
+    if name == "quick_compare":
+        from .sim.executor import quick_compare
+
+        return quick_compare
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,18 @@
+"""Baseline hardware models: CPU (sequential/ideal/real), GPU, Inter-record."""
+
+from .base import HardwareModel, StepTimes, host_step2_seconds
+from .gpu import IdealGPU, RealGPU
+from .interrecord import InterRecordAccelerator
+from .multicore import IdealMulticore, RealMulticore, SequentialCPU
+
+__all__ = [
+    "HardwareModel",
+    "IdealGPU",
+    "IdealMulticore",
+    "InterRecordAccelerator",
+    "RealGPU",
+    "RealMulticore",
+    "SequentialCPU",
+    "StepTimes",
+    "host_step2_seconds",
+]

@@ -1,0 +1,74 @@
+"""Ideal and Real GPU models.
+
+The paper's *Ideal GPU* is "constrained only by 64-way parallelism without
+any implementation artifacts ... perfect, convergent SIMT behavior" (Sec. IV)
+-- deliberately abstract, because Sec. II-D argues a real GPU cannot reach
+even that: read-modify-write histogram updates either serialize behind
+atomics (intra-warp same-bin conflicts) or force privatization that exceeds
+Shared Memory.  The ideal model therefore mirrors the ideal multicore with 64
+lanes; Fig. 7's modest 1.6-1.9x GPU speedups follow from Amdahl on the
+host-side step 2.
+
+The *Real GPU* layers the measured irregularity penalties on top:
+
+* atomic serialization proportional to the measured warp bin-conflict factor,
+  weighted by shared-memory pressure (a histogram that fits comfortably in
+  96 KB can be privatized cheaply; one that does not cannot);
+* per-vertex kernel-launch/sync overhead (three kernels per vertex);
+* SIMT divergence in traversal proportional to the measured path-length CV.
+
+These reproduce Fig. 11's crossover: the real GPU loses to the real multicore
+exactly on the irregular/small-work benchmarks (Allstate, Mq2008).
+"""
+
+from __future__ import annotations
+
+from ..gbdt.workprofile import InferenceWork, WorkProfile
+from .base import StepTimes
+from .multicore import IdealMulticore
+
+__all__ = ["IdealGPU", "RealGPU"]
+
+
+class IdealGPU(IdealMulticore):
+    """64-way ideal machine at the CPU clock (Table V), same host step 2."""
+
+    name = "ideal-gpu"
+    threads = 64
+    reduce_copies = 64  # one privatized histogram per lane group
+
+
+class RealGPU(IdealGPU):
+    """Irregularity-derated GPU for Fig. 11."""
+
+    name = "real-gpu"
+
+    def _conflict_penalty(self, profile: WorkProfile) -> float:
+        """Atomic-serialization factor for histogram updates (step 1)."""
+        c = self.costs
+        hist_bytes = profile.n_total_bins * c.host_bin_bytes
+        pressure = min(1.0, hist_bytes / c.gpu_shared_bytes)
+        extra = c.real_gpu_conflict_weight * (profile.warp_conflict_factor - 1.0)
+        return c.real_gpu_base_factor * (1.0 + extra * pressure)
+
+    def _divergence_penalty(self, profile_cv: float) -> float:
+        c = self.costs
+        return c.real_gpu_base_factor * (1.0 + c.real_gpu_divergence_weight * profile_cv)
+
+    def training_times(self, profile: WorkProfile) -> StepTimes:
+        ideal = super().training_times(profile)
+        c = self.costs
+        launch = (
+            3.0 * profile.step2_evaluations() * c.gpu_launch_overhead_s
+        )  # bin + choose + partition kernels per vertex
+        return StepTimes(
+            step1=ideal.step1 * self._conflict_penalty(profile),
+            step2=ideal.step2,
+            step3=ideal.step3 * c.real_gpu_base_factor,
+            step5=ideal.step5 * self._divergence_penalty(profile.path_len_cv),
+            other=ideal.other + launch,
+        )
+
+    def inference_seconds(self, work: InferenceWork) -> float:
+        ideal = super().inference_seconds(work)
+        return ideal * self._divergence_penalty(work.path_len_cv)

@@ -1,0 +1,219 @@
+"""Command-line interface for the Booster reproduction.
+
+Installed as the ``repro`` console script::
+
+    repro datasets                      # Table III structure
+    repro train higgs --trees 20        # functional training summary
+    repro compare flight --scale 10     # hardware comparison (Fig. 7 style)
+    repro inference iot                 # batch inference (Fig. 13 style)
+    repro figures fig7 fig13            # regenerate paper artifacts
+    repro sweep --dataset higgs         # accelerator design space
+    repro validate                      # full reproduction claim checklist
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
+from .gbdt import TrainParams, train, train_level_wise
+from .sim.artifacts import ARTIFACTS, build
+from .sim.executor import Executor
+from .sim.report import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Booster: An Accelerator for Gradient "
+        "Boosting Decision Trees' (He, Vijaykumar, Thottethodi).",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trees", type=int, default=10, help="boosting rounds to simulate functionally"
+    )
+    common.add_argument("--seed", type=int, default=7, help="dataset seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "datasets", parents=[common], help="list the benchmark datasets (Table III)"
+    )
+
+    p_train = sub.add_parser(
+        "train", parents=[common], help="functionally train one benchmark"
+    )
+    p_train.add_argument("dataset", choices=BENCHMARK_NAMES)
+    p_train.add_argument("--records", type=int, default=None, help="override record count")
+    p_train.add_argument(
+        "--level-wise", action="store_true", help="grow trees level by level (Sec. II-A)"
+    )
+
+    p_cmp = sub.add_parser(
+        "compare", parents=[common], help="compare hardware models on one benchmark"
+    )
+    p_cmp.add_argument("dataset", choices=BENCHMARK_NAMES)
+    p_cmp.add_argument("--scale", type=float, default=1.0, help="extra record scaling (Fig. 12)")
+    p_cmp.add_argument(
+        "--systems", nargs="*", default=None, help="subset of hardware models to include"
+    )
+
+    p_inf = sub.add_parser(
+        "inference", parents=[common], help="batch-inference comparison (Fig. 13)"
+    )
+    p_inf.add_argument("dataset", choices=BENCHMARK_NAMES)
+
+    p_fig = sub.add_parser(
+        "figures", parents=[common], help="regenerate paper tables/figures"
+    )
+    p_fig.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help=f"artifacts to render (default: all of {sorted(ARTIFACTS)})",
+    )
+
+    p_sweep = sub.add_parser("sweep", parents=[common], help="Booster design-space sweep")
+    p_sweep.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
+
+    sub.add_parser(
+        "validate", parents=[common], help="run the reproduction claim checklist"
+    )
+    return parser
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            r["name"],
+            f"{r['paper_records'] / 1e6:.0f}M",
+            r["sim_records"],
+            r["fields"],
+            r["categorical_fields"],
+            r["features_onehot"],
+            r["comment"],
+        ]
+        for r in table3_rows()
+    ]
+    print(
+        render_table(
+            ["name", "paper recs", "sim recs", "fields", "categ", "features", "comment"],
+            rows,
+            title="benchmarks (Table III structure)",
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = dataset_spec(args.dataset, n_records=args.records, seed=args.seed)
+    data = generate(spec)
+    fit = train_level_wise if args.level_wise else train
+    result = fit(data, TrainParams(n_trees=args.trees))
+    summary = result.profile.summary()
+    rows = [[k, v] for k, v in summary.items()]
+    rows.append(["growth", result.profile.growth])
+    rows.append(["final loss", f"{result.losses[-1]:.5f}"])
+    rows.append(["wall seconds", f"{result.profile.train_seconds_wall:.2f}"])
+    print(render_table(["quantity", "value"], rows, title=f"training summary: {args.dataset}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ex = Executor(sim_trees=args.trees, seed=args.seed)
+    cmp = ex.compare(args.dataset, systems=args.systems, extra_scale=args.scale)
+    print(cmp.table())
+    return 0
+
+
+def _cmd_inference(args: argparse.Namespace) -> int:
+    ex = Executor(sim_trees=args.trees, seed=args.seed)
+    result = ex.inference(args.dataset)
+    rows = [
+        [system, f"{seconds * 1e3:.2f} ms", f"{result.speedup(system):.1f}x"]
+        for system, seconds in result.seconds.items()
+    ]
+    print(
+        render_table(
+            ["system", "batch time", "speedup"],
+            rows,
+            title=f"batch inference: {args.dataset} (500 trees)",
+        )
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    ex = Executor(sim_trees=args.trees, seed=args.seed)
+    names = args.names or list(ARTIFACTS)
+    for name in names:
+        try:
+            print(build(name, ex))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import BoosterConfig, BoosterEngine
+    from .energy import AreaPowerModel
+
+    ex = Executor(sim_trees=args.trees, seed=args.seed)
+    profile = ex.profile(args.dataset)
+    baseline = ex.model("ideal-32-core").training_seconds(profile)
+    area = AreaPowerModel()
+    rows = []
+    for clusters in (5, 10, 25, 50, 100):
+        cfg = BoosterConfig(n_clusters=clusters)
+        engine = BoosterEngine(config=cfg, bandwidth=ex._bandwidth)
+        seconds = engine.training_times(profile).total
+        budget = area.estimate(n_bus=cfg.n_bus, n_clusters=clusters)
+        rows.append(
+            [
+                cfg.n_bus,
+                f"{baseline / seconds:.2f}x",
+                f"{budget.total_mm2:.1f}",
+                f"{budget.total_w:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["BUs", "speedup", "area mm2", "power W"],
+            rows,
+            title=f"design space on {args.dataset} (paper point: 3200 BUs)",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .sim.validate import report, validate_all
+
+    ex = Executor(sim_trees=args.trees, seed=args.seed)
+    claims = validate_all(ex)
+    print(report(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "train": _cmd_train,
+    "compare": _cmd_compare,
+    "inference": _cmd_inference,
+    "figures": _cmd_figures,
+    "sweep": _cmd_sweep,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

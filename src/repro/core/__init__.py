@@ -1,0 +1,26 @@
+"""The Booster accelerator model -- the paper's primary contribution.
+
+Public API::
+
+    from repro.core import BoosterEngine, BoosterConfig, PAPER_CONFIG
+    engine = BoosterEngine()                       # full Booster
+    noopt  = BoosterEngine(mapping_strategy="naive", column_format=False)
+    times  = engine.training_times(profile)        # StepTimes
+"""
+
+from .broadcast import BroadcastBus
+from .config import PAPER_CONFIG, BoosterConfig
+from .engine import BoosterEngine, Step1MicroResult, simulate_step1_micro
+from .mapping import BinMapping, group_by_field_mapping, naive_packing_mapping
+
+__all__ = [
+    "BinMapping",
+    "BoosterConfig",
+    "BoosterEngine",
+    "BroadcastBus",
+    "PAPER_CONFIG",
+    "Step1MicroResult",
+    "group_by_field_mapping",
+    "naive_packing_mapping",
+    "simulate_step1_micro",
+]

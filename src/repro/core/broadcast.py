@@ -1,0 +1,51 @@
+"""Pipelined broadcast bus model (Sec. III-B).
+
+The per-record gradient statistics (g, h) and the step-3/5 predicates/tables
+are *logically* broadcast to all BUs, implemented "as a simple, pipelined
+broadcast over point-to-point links (e.g., 16 BUs per link)".  A pipelined
+broadcast has a fill latency of ``n_bus / fanin`` cycles (3200/16 = 200 in
+the paper) paid once per stream; with millions of records per stream, the
+fill and drain are negligible -- but they are modeled, not ignored, because
+ablations with very wide chips or tiny datasets can surface them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import BoosterConfig
+
+__all__ = ["BroadcastBus"]
+
+
+@dataclass(frozen=True)
+class BroadcastBus:
+    """Timing facts of the broadcast network for one chip configuration."""
+
+    config: BoosterConfig
+    fanin: int = 16
+
+    def __post_init__(self) -> None:
+        if self.fanin < 1:
+            raise ValueError("fanin must be >= 1")
+
+    @property
+    def fill_cycles(self) -> int:
+        """Pipeline fill: one hop per ``fanin`` BUs (3200/16 = 200 cycles)."""
+        return -(-self.config.n_bus // self.fanin)
+
+    def stream_cycles(self, n_items: int, items_per_cycle: float = 1.0) -> float:
+        """Cycles to broadcast ``n_items`` once the pipe is full."""
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        if items_per_cycle <= 0:
+            raise ValueError("items_per_cycle must be positive")
+        return self.fill_cycles + n_items / items_per_cycle
+
+    def replicate_table_cycles(self, table_entries: int) -> float:
+        """Cycles to replicate a predicate/tree table into every SRAM.
+
+        The table streams once over the broadcast network; BUs snoop and
+        write their local copy (steps 3 and 5 of Table II).
+        """
+        return self.stream_cycles(table_entries)

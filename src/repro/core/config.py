@@ -1,0 +1,51 @@
+"""Booster chip configuration (Sec. III-B, Fig. 5, Table V/VI design point).
+
+The published design: 50 clusters x 64 BUs = 3200 BUs, each BU a 2 KB SRAM
+plus an FP adder pair, at 1 GHz.  The rate-matching argument (Sec. III-B):
+400 GB/s DRAM at 64 B blocks supplies 6.25 blocks/cycle; at one byte per
+field that is 400 field updates arriving per cycle; each update occupies its
+BU for 8 cycles; so 3200 BUs saturate the memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BoosterConfig", "PAPER_CONFIG"]
+
+
+@dataclass(frozen=True)
+class BoosterConfig:
+    """Structural parameters of one Booster chip."""
+
+    n_clusters: int = 50
+    bus_per_cluster: int = 64
+    sram_bytes: int = 2048
+    clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1 or self.bus_per_cluster < 1:
+            raise ValueError("need at least one cluster and one BU per cluster")
+        if self.sram_bytes < 64:
+            raise ValueError("SRAM must hold at least a few bins")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+
+    @property
+    def n_bus(self) -> int:
+        """Total Booster Units on the chip."""
+        return self.n_clusters * self.bus_per_cluster
+
+    def sram_entries(self, bin_bytes: int = 8) -> int:
+        """Histogram bins one BU SRAM holds (2 KB / 8 B = 256, Sec. III-C)."""
+        if bin_bytes <= 0:
+            raise ValueError("bin_bytes must be positive")
+        return self.sram_bytes // bin_bytes
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return self.n_bus * self.sram_bytes
+
+
+#: The exact configuration synthesized in the paper.
+PAPER_CONFIG = BoosterConfig()

@@ -1,0 +1,166 @@
+"""Binned dataset representation and the pre-processing the paper describes.
+
+The paper's software pre-processing (Sec. II-A):
+
+1. discretize floating-point fields into ~256 quantile bins, reserving one bin
+   for missing values;
+2. one-hot encode categorical fields;
+3. include an 'absent' bin per categorical field;
+4. apply the LightGBM optimization so that only the 'yes' bin per field is
+   updated and the 'no' bins are reconstructed by subtraction -- i.e. each
+   record touches exactly **one bin per field**.
+
+The net effect is that a record is a dense vector of *bin indices*, one per
+field.  That is exactly the representation this module produces:
+``BinnedDataset.codes[i, j]`` is the histogram bin record ``i`` updates for
+field ``j`` (the field's missing bin if the value is absent).  One byte per
+field is also the record format Booster streams from DRAM ("Each field
+consumes a byte", Sec. III-B), so this representation doubles as the layout
+unit for byte accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import DatasetSpec, FieldSpec
+
+__all__ = ["BinnedDataset", "quantile_bin_edges", "discretize_numerical"]
+
+
+def quantile_bin_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Compute quantile bin edges for a numerical column.
+
+    Returns ``n_bins - 1`` interior edges so that ``np.searchsorted`` maps a
+    value to a bin in ``[0, n_bins)``.  Duplicate quantiles (heavily repeated
+    values) are allowed; they simply leave some bins empty, as in XGBoost's
+    approximate sketch.
+    """
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return np.zeros(n_bins - 1, dtype=np.float64)
+    qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    return np.quantile(finite, qs).astype(np.float64)
+
+
+def discretize_numerical(values: np.ndarray, edges: np.ndarray, missing_bin: int) -> np.ndarray:
+    """Map raw numerical values to bin codes; NaN goes to ``missing_bin``."""
+    codes = np.searchsorted(edges, values, side="left").astype(np.int32)
+    codes[~np.isfinite(values)] = missing_bin
+    return codes
+
+
+@dataclass
+class BinnedDataset:
+    """Pre-processed dataset: dense per-field bin codes plus labels.
+
+    Attributes
+    ----------
+    spec:
+        The structural schema this data was generated from.
+    codes:
+        ``(n_records, n_fields)`` array of bin indices.  ``codes[i, j]`` lies
+        in ``[0, spec.fields[j].n_total_bins)``; the top index of each field's
+        range is its missing/absent bin.  Stored as the smallest integer dtype
+        that fits the largest field (``uint8`` when all fields have <=256
+        bins, matching the 1-byte-per-field record format).
+    y:
+        ``(n_records,)`` float64 labels (0/1 for binary, real for regression).
+    raw_numeric:
+        Optional ``(n_records, n_numerical_fields)`` raw values kept for
+        documentation/examples; timing never uses it.
+    """
+
+    spec: DatasetSpec
+    codes: np.ndarray
+    y: np.ndarray
+    raw_numeric: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n, f = self.codes.shape
+        if n != self.spec.n_records:
+            raise ValueError(
+                f"codes has {n} rows but spec says {self.spec.n_records} records"
+            )
+        if f != self.spec.n_fields:
+            raise ValueError(
+                f"codes has {f} columns but spec says {self.spec.n_fields} fields"
+            )
+        if self.y.shape != (n,):
+            raise ValueError(f"y has shape {self.y.shape}, expected ({n},)")
+
+    # -- structural helpers ---------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def n_fields(self) -> int:
+        return self.codes.shape[1]
+
+    @property
+    def fields(self) -> tuple[FieldSpec, ...]:
+        return self.spec.fields
+
+    def field_bin_counts(self) -> np.ndarray:
+        """Total bins (incl. missing) per field, shape ``(n_fields,)``."""
+        return np.array([f.n_total_bins for f in self.fields], dtype=np.int64)
+
+    def bin_offsets(self) -> np.ndarray:
+        """Exclusive prefix sum of per-field bin counts.
+
+        ``bin_offsets()[j] + codes[i, j]`` is the *global* bin index used by
+        flattened histograms, shape ``(n_fields + 1,)``.
+        """
+        counts = self.field_bin_counts()
+        out = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=out[1:])
+        return out
+
+    def global_codes(self) -> np.ndarray:
+        """Codes shifted into the global (flattened-histogram) bin space."""
+        return self.codes.astype(np.int64) + self.bin_offsets()[:-1][None, :]
+
+    def validate_codes(self) -> None:
+        """Raise if any code is outside its field's bin range."""
+        counts = self.field_bin_counts()
+        if (self.codes < 0).any():
+            raise ValueError("negative bin code")
+        bad = self.codes >= counts[None, :]
+        if bad.any():
+            i, j = np.argwhere(bad)[0]
+            raise ValueError(
+                f"record {i} field {j} code {self.codes[i, j]} out of range "
+                f"(field has {counts[j]} bins)"
+            )
+
+    def subset(self, index: np.ndarray) -> "BinnedDataset":
+        """Row-subset view (used by examples; training uses index arrays)."""
+        sub_spec = self.spec.with_records(int(len(index)))
+        return BinnedDataset(
+            spec=sub_spec,
+            codes=self.codes[index],
+            y=self.y[index],
+            raw_numeric=None if self.raw_numeric is None else self.raw_numeric[index],
+        )
+
+
+def smallest_code_dtype(spec: DatasetSpec) -> np.dtype:
+    """Smallest unsigned dtype holding every field's bin index.
+
+    The paper's record format uses one byte per field; fields with more than
+    256 bins are legal in our generator (huge-cardinality categoricals) and
+    widen the stored dtype, while the *layout* model still accounts such
+    fields as multi-byte (see :mod:`repro.datasets.layout`).
+    """
+    max_bins = max(f.n_total_bins for f in spec.fields)
+    if max_bins <= 2**8:
+        return np.dtype(np.uint8)
+    if max_bins <= 2**16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)

@@ -1,0 +1,230 @@
+"""Memory layouts and DRAM byte accounting for records.
+
+Booster's third contribution is a *redundant* data representation: the input
+records are stored both in the natural per-record row-major format (used by
+histogram binning, step 1) and in a per-field column-major format (used by
+single-predicate evaluation, step 3, and one-tree traversal, step 5).  The
+redundancy costs pre-processing time and DRAM capacity but saves DRAM
+*bandwidth*, which is what Booster is rate-matched against.
+
+This module is the single source of truth for "how many DRAM bytes does it
+take to read X" for every hardware model:
+
+* row-major records: one byte per field (paper Sec. III-B), packed two to a
+  64 B block when a record fits in half a block (extension (2), Sec. III-C);
+* per-field columns: one element per record, gathered non-contiguously when
+  only a subset of records is relevant -- modeled with an expected
+  touched-block calculation;
+* gradient statistics g/h: ``stat_bytes`` per record, stored as separate
+  streams ("This stream efficiency motivates storing these fields
+  separately", Sec. III-B);
+* record-pointer streams produced/consumed by step 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .schema import DatasetSpec
+
+__all__ = [
+    "LayoutConfig",
+    "RecordLayout",
+    "expected_touched_blocks",
+    "field_element_bytes",
+]
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Byte-level constants shared by all layouts.
+
+    ``stat_bytes`` covers one record's first- and second-order gradient
+    statistics (g, h) as two float32 values; ``pointer_bytes`` is one entry of
+    the relevant-record pointer streams of steps 1/3.
+    """
+
+    block_bytes: int = 64
+    stat_bytes: int = 8
+    pointer_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.block_bytes <= 0 or (self.block_bytes & (self.block_bytes - 1)):
+            raise ValueError(f"block_bytes must be a positive power of two, got {self.block_bytes}")
+        if self.stat_bytes <= 0 or self.pointer_bytes <= 0:
+            raise ValueError("stat_bytes and pointer_bytes must be positive")
+
+
+def field_element_bytes(n_total_bins: int) -> int:
+    """Bytes needed to store one record's bin index for a field.
+
+    The common case is one byte (<=256 bins, the paper's record format);
+    huge-cardinality categorical fields widen to 2 or 4 bytes.
+    """
+    if n_total_bins <= 2**8:
+        return 1
+    if n_total_bins <= 2**16:
+        return 2
+    return 4
+
+
+def expected_touched_blocks(n_selected, n_universe: int, elems_per_block: int):
+    """Expected number of blocks touched by a scattered subset read.
+
+    When only ``n_selected`` of ``n_universe`` records are relevant (records
+    reaching an interior tree vertex) and each block holds ``elems_per_block``
+    record elements, a gather touches on average
+    ``total_blocks * (1 - (1 - p)^k)`` blocks where ``p`` is the selection
+    density.  This is the binomial approximation to sampling without
+    replacement; it is exact at ``p in {0, 1}`` and never below the lower
+    bound ``ceil(n_selected / elems_per_block)``.
+
+    ``n_selected`` may be a scalar or an array (per-node counts); the return
+    type matches.
+    """
+    if elems_per_block <= 0:
+        raise ValueError("elems_per_block must be positive")
+    if n_universe < 0:
+        raise ValueError("counts must be non-negative")
+    sel = np.asarray(n_selected, dtype=np.float64)
+    if (sel < 0).any():
+        raise ValueError("counts must be non-negative")
+    if n_universe == 0:
+        out = np.zeros_like(sel)
+        return out if sel.ndim else 0.0
+    sel = np.minimum(sel, n_universe)
+    p = sel / n_universe
+    total_blocks = -(-n_universe // elems_per_block)  # ceil division
+    expected = total_blocks * (1.0 - (1.0 - p) ** elems_per_block)
+    lower = np.ceil(sel / elems_per_block)
+    out = np.maximum(expected, lower)
+    out = np.where(sel == 0, 0.0, out)
+    return out if out.ndim else float(out)
+
+
+class RecordLayout:
+    """Byte accounting for one dataset's row-major and column-major layouts."""
+
+    def __init__(self, spec: DatasetSpec, config: LayoutConfig | None = None) -> None:
+        self.spec = spec
+        self.config = config or LayoutConfig()
+        self.field_bytes = np.array(
+            [field_element_bytes(f.n_total_bins) for f in spec.fields], dtype=np.int64
+        )
+        #: Payload bytes of one row-major record (fields only; g/h separate).
+        self.record_bytes = int(self.field_bytes.sum())
+        block = self.config.block_bytes
+        if self.record_bytes <= block // 2:
+            #: Extension (2): records at most half a block are packed.
+            self.records_per_block = block // self.record_bytes
+            self.blocks_per_record = 1
+        else:
+            self.records_per_block = 1
+            self.blocks_per_record = -(-self.record_bytes // block)
+
+    # -- row-major ------------------------------------------------------------
+
+    def row_bytes_sequential(self, n_records: int) -> float:
+        """Bytes to stream ``n_records`` contiguous row-major records."""
+        if n_records <= 0:
+            return 0.0
+        blocks = -(-n_records // self.records_per_block) * self.blocks_per_record
+        return float(blocks * self.config.block_bytes)
+
+    def row_bytes_gather(self, n_selected, n_universe: int):
+        """Bytes to fetch a scattered subset of row-major records.
+
+        Each record is one or more *contiguous* blocks ("each record is one or
+        more memory blocks of contiguous bytes, thus achieving good memory
+        bandwidth", Sec. III-B), so waste only arises from block sharing when
+        records are packed.  ``n_selected`` may be per-node arrays.
+        """
+        sel = np.asarray(n_selected, dtype=np.float64)
+        if self.records_per_block == 1:
+            out = sel * self.blocks_per_record * self.config.block_bytes
+            return out if out.ndim else float(out)
+        blocks = expected_touched_blocks(sel, n_universe, self.records_per_block)
+        out = np.asarray(blocks) * self.config.block_bytes
+        return out if out.ndim else float(out)
+
+    # -- column-major (the redundant format) -----------------------------------
+
+    def column_bytes_sequential(self, field_indices: Sequence[int], n_records: int) -> float:
+        """Bytes to stream whole per-field columns for the given fields."""
+        if n_records <= 0 or len(field_indices) == 0:
+            return 0.0
+        total = 0.0
+        block = self.config.block_bytes
+        for j in field_indices:
+            elem = int(self.field_bytes[j])
+            blocks = -(-(n_records * elem) // block)
+            total += blocks * block
+        return float(total)
+
+    def column_bytes_gather(self, field_index, n_selected, n_universe: int):
+        """Bytes to gather one field's column for a scattered record subset.
+
+        The paper notes the single-field columns "would likely be more
+        non-contiguous" than whole records; the expected-touched-block model
+        quantifies exactly that.  ``field_index`` and ``n_selected`` may be
+        matched arrays (one entry per split node).
+        """
+        fields = np.asarray(field_index, dtype=np.int64)
+        sel = np.asarray(n_selected, dtype=np.float64)
+        elem = self.field_bytes[fields]
+        epb = self.config.block_bytes // elem
+        if fields.ndim == 0:
+            blocks = expected_touched_blocks(sel, n_universe, int(epb))
+            out = np.asarray(blocks) * self.config.block_bytes
+            return out if out.ndim else float(out)
+        # Mixed element widths: group by epb value (at most 3 distinct).
+        total = np.zeros_like(sel)
+        for width in np.unique(epb):
+            mask = epb == width
+            total[mask] = expected_touched_blocks(sel[mask], n_universe, int(width))
+        return total * self.config.block_bytes
+
+    # -- auxiliary streams ------------------------------------------------------
+
+    def stats_bytes_sequential(self, n_records: int) -> float:
+        """Bytes to stream g/h for ``n_records`` contiguous records."""
+        if n_records <= 0:
+            return 0.0
+        block = self.config.block_bytes
+        blocks = -(-(n_records * self.config.stat_bytes) // block)
+        return float(blocks * block)
+
+    def stats_bytes_gather(self, n_selected, n_universe: int):
+        """Bytes to gather g/h for a scattered record subset."""
+        epb = self.config.block_bytes // self.config.stat_bytes
+        blocks = expected_touched_blocks(n_selected, n_universe, epb)
+        out = np.asarray(blocks) * self.config.block_bytes
+        return out if out.ndim else float(out)
+
+    def pointer_bytes(self, n_records):
+        """Bytes of a dense pointer stream (step 3 outputs, step 1 inputs)."""
+        n = np.asarray(n_records, dtype=np.float64)
+        block = self.config.block_bytes
+        blocks = np.ceil(n * self.config.pointer_bytes / block)
+        out = blocks * block
+        return out if out.ndim else float(out)
+
+    # -- capacity ---------------------------------------------------------------
+
+    def total_row_store_bytes(self) -> float:
+        """DRAM footprint of the row-major copy."""
+        return self.row_bytes_sequential(self.spec.n_records)
+
+    def total_column_store_bytes(self) -> float:
+        """DRAM footprint of the redundant column-major copy."""
+        return self.column_bytes_sequential(range(self.spec.n_fields), self.spec.n_records)
+
+    def redundancy_overhead(self) -> float:
+        """Extra capacity factor paid for the redundant format (~2x)."""
+        row = self.total_row_store_bytes()
+        if row == 0:
+            return 0.0
+        return (row + self.total_column_store_bytes()) / row

@@ -1,0 +1,17 @@
+"""Energy and area substrate: CACTI-like SRAM model, ASIC budget, accounting."""
+
+from .area import TABLE6, AreaPowerModel, ChipBudget
+from .cacti import TABLE5_POINTS, SRAMEnergyModel
+from .model import DRAM_PJ_PER_BYTE, SYSTEM_SRAM, EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "AreaPowerModel",
+    "ChipBudget",
+    "DRAM_PJ_PER_BYTE",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "SRAMEnergyModel",
+    "SYSTEM_SRAM",
+    "TABLE5_POINTS",
+    "TABLE6",
+]

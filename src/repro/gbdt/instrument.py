@@ -1,0 +1,69 @@
+"""Irregularity instrumentation: warp bin conflicts and path divergence.
+
+Section II-D argues GPUs fail on GB training because histogram updates are
+read-modify-write and irregular: threads of a warp frequently hit the *same*
+bin (serialized atomics) and records take different tree paths (SIMT
+divergence).  These two statistics are measurable properties of the data, so
+we measure them and feed them to the "real GPU" derating model instead of
+inventing constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["warp_conflict_factor", "max_run_lengths", "path_length_cv"]
+
+
+def max_run_lengths(sorted_rows: np.ndarray) -> np.ndarray:
+    """Per-row maximum run length of equal adjacent values.
+
+    Rows must be sorted.  A run of length ``r`` means ``r`` lanes of the warp
+    update the same histogram bin, which hardware serializes into ``r``
+    sequential read-modify-writes.
+    """
+    if sorted_rows.ndim != 2:
+        raise ValueError("expected a 2-D array of sorted rows")
+    n_rows, width = sorted_rows.shape
+    if width == 0:
+        return np.zeros(n_rows, dtype=np.int64)
+    change = np.ones((n_rows, width), dtype=np.int64)
+    change[:, 1:] = (sorted_rows[:, 1:] != sorted_rows[:, :-1]).astype(np.int64)
+    run_id = np.cumsum(change, axis=1) - 1  # 0-based run index within the row
+    counts = np.zeros((n_rows, width), dtype=np.int64)
+    rows = np.repeat(np.arange(n_rows), width)
+    np.add.at(counts, (rows, run_id.ravel()), 1)
+    return counts.max(axis=1)
+
+
+def warp_conflict_factor(codes: np.ndarray, warp: int = 32, sample: int = 4096) -> float:
+    """Expected max same-bin multiplicity within a warp, averaged over fields.
+
+    ``codes`` is the (records x fields) bin-code matrix.  For each field, the
+    first ``sample`` records are grouped into warps of ``warp`` consecutive
+    records; the mean over warps of the maximum bin multiplicity estimates the
+    atomic-serialization factor.  Uniform 256-bin fields give ~1.2-1.5;
+    heavily skewed categorical fields approach ``warp`` itself.
+    """
+    if warp < 1:
+        raise ValueError("warp must be >= 1")
+    n, n_fields = codes.shape
+    use = min(n, sample)
+    use -= use % warp
+    if use < warp:
+        return 1.0
+    factors = np.empty(n_fields, dtype=np.float64)
+    for j in range(n_fields):
+        groups = np.sort(codes[:use, j].reshape(-1, warp), axis=1)
+        factors[j] = max_run_lengths(groups).mean()
+    return float(factors.mean())
+
+
+def path_length_cv(path_lengths: np.ndarray) -> float:
+    """Coefficient of variation of traversal path lengths (divergence proxy)."""
+    if path_lengths.size == 0:
+        return 0.0
+    mean = float(path_lengths.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(path_lengths.std() / mean)

@@ -1,0 +1,309 @@
+"""Level-by-level tree growth (the paper's alternative configuration).
+
+Sec. II-A: "GB implementations can be configured to proceed vertex by vertex
+or level by level (i.e., explore together all the valid vertices at a level
+...). The [level-wise configuration] streams in all the input records and
+histogram-bins the relevant records at each vertex.  Because multiple
+vertices are explored together, this configuration maintains a separate
+histogram per vertex."
+
+Differences from the vertex-by-vertex trainer that matter to hardware:
+
+* step 1 makes **one pass over all active records per level** (sequential
+  streaming, no per-vertex pointer gathers), updating per-vertex histograms
+  selected by each record's current node -- but the smaller-child subtraction
+  still halves the explicit work (only the smaller child of each split is
+  binned; the sibling is derived);
+* the on-chip capacity requirement multiplies by the number of live vertices
+  at the level (up to 2^depth histograms), which is exactly the trade-off
+  Booster's SRAM budget bounds (see
+  :meth:`~repro.core.engine.BoosterEngine.bin_mapping` capacity checks);
+* step 2 evaluates all the level's vertices in one host round trip, so the
+  per-vertex offload overhead amortizes.
+
+The resulting model is numerically identical to the vertex-by-vertex trainer
+(same splits, same trees) -- property-tested -- while the work profile's
+*shape* differs, which the ``growth`` ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.encoding import BinnedDataset
+from .histogram import Histogram, HistogramBuilder
+from .instrument import warp_conflict_factor
+from .losses import Loss, loss_for_task
+from .split import SplitDecision, SplitParams, SplitSearcher, leaf_weight
+from .trainer import TrainParams, TrainResult
+from .tree import Tree
+from .workprofile import TreeWork, WorkProfile
+
+__all__ = ["LevelWiseTrainer", "train_level_wise"]
+
+
+@dataclass
+class _LevelNode:
+    """One live vertex during level-wise growth."""
+
+    tree_node: int  # id in the Tree being built
+    g_tot: float
+    h_tot: float
+    c_tot: float
+    hist: Histogram | None = None
+    binned_here: int = 0  # records explicitly binned for this vertex
+    n_reach: int = 0
+
+
+class LevelWiseTrainer:
+    """Level-by-level GBDT trainer with the same split semantics."""
+
+    def __init__(self, data: BinnedDataset, params: TrainParams | None = None) -> None:
+        self.data = data
+        self.params = params or TrainParams()
+        self.builder = HistogramBuilder(data)
+        self.searcher = SplitSearcher(data.spec, self.builder.offsets, self.params.split)
+        self.loss: Loss = loss_for_task(data.spec.task)
+
+    def fit(self) -> TrainResult:
+        t_start = time.perf_counter()
+        data = self.data
+        params = self.params
+        n = data.n_records
+        y = data.y
+        margin = np.full(n, self.loss.base_margin(y), dtype=np.float64)
+        base_margin = float(margin[0]) if n else 0.0
+
+        trees: list[Tree] = []
+        works: list[TreeWork] = []
+        losses = np.empty(params.n_trees, dtype=np.float64)
+        root_bin_counts: np.ndarray | None = None
+        child_fracs: list[float] = []
+        path_sum = path_sq = 0.0
+        path_count = 0
+
+        for round_ix in range(params.n_trees):
+            g, h = self.loss.gradients(margin, y)
+            tree, work, fracs, root_counts = self._grow_tree(g, h)
+            trees.append(tree)
+            if root_bin_counts is None:
+                root_bin_counts = root_counts
+
+            pred, depths = tree.predict(data.codes, return_depth=True)
+            margin += pred
+            losses[round_ix] = self.loss.value(margin, y)
+            work.sum_path_len = float(depths.sum())
+            work.mean_path_len = float(depths.mean()) if n else 0.0
+            work.max_path_len = int(depths.max()) if n else 0
+            work.loss_after = float(losses[round_ix])
+            works.append(work)
+            child_fracs.extend(fracs)
+            path_sum += float(depths.sum())
+            path_sq += float(np.square(depths, dtype=np.float64).sum())
+            path_count += int(depths.size)
+
+        cv = 0.0
+        if path_count and path_sum > 0:
+            mean = path_sum / path_count
+            var = max(path_sq / path_count - mean * mean, 0.0)
+            cv = float(np.sqrt(var) / mean)
+
+        profile = WorkProfile(
+            spec=data.spec,
+            trees=works,
+            warp_conflict_factor=warp_conflict_factor(data.codes, sample=params.conflict_sample),
+            path_len_cv=cv,
+            smaller_child_fraction_mean=float(np.mean(child_fracs)) if child_fracs else 0.5,
+            train_seconds_wall=time.perf_counter() - t_start,
+            losses=losses.copy(),
+            root_bin_counts=root_bin_counts,
+            growth="level",
+        )
+        return TrainResult(
+            trees=trees,
+            profile=profile,
+            losses=losses,
+            base_margin=base_margin,
+            loss=self.loss,
+            params=params,
+        )
+
+    # -- one tree ------------------------------------------------------------------
+
+    def _grow_tree(self, g: np.ndarray, h: np.ndarray):
+        data = self.data
+        params = self.params
+        n = data.n_records
+        tree = Tree(data.spec)
+
+        depths: list[int] = []
+        reaches: list[int] = []
+        binneds: list[int] = []
+        evals: list[bool] = []
+        issplits: list[bool] = []
+        sfields: list[int] = []
+        child_fracs: list[float] = []
+        root_counts: np.ndarray | None = None
+
+        # Every record carries its current vertex; -1 once it rests in a leaf.
+        assignment = np.zeros(n, dtype=np.int64)
+        root_hist = self.builder.build(np.arange(n, dtype=np.int64), g, h)
+        root_counts = root_hist.count.copy()
+        root = _LevelNode(
+            tree_node=-1,  # assigned below
+            g_tot=float(g.sum()),
+            h_tot=float(h.sum()),
+            c_tot=float(n),
+            hist=root_hist,
+            binned_here=n,
+            n_reach=n,
+        )
+        live = {0: root}  # level-local vertex id -> node state
+        vertex_of_record = assignment  # alias for clarity
+
+        for depth in range(params.max_depth + 1):
+            if not live:
+                break
+            next_live: dict[int, _LevelNode] = {}
+            splits_this_level: dict[int, SplitDecision] = {}
+
+            # Step 2 for every vertex at this level (one host round trip).
+            for vid, node in live.items():
+                n_reach = node.n_reach
+                can_split = (
+                    depth < params.max_depth
+                    and n_reach >= 2 * params.split.min_child_records
+                    and node.hist is not None
+                )
+                decision = None
+                if can_split:
+                    decision = self.searcher.best_split(
+                        node.hist, node.g_tot, node.h_tot, node.c_tot
+                    )
+                is_split = decision is not None and decision.valid
+
+                depths.append(depth)
+                reaches.append(n_reach)
+                binneds.append(node.binned_here)
+                evals.append(bool(can_split))
+
+                if not is_split:
+                    issplits.append(False)
+                    sfields.append(-1)
+                    w = params.learning_rate * leaf_weight(
+                        node.g_tot, node.h_tot, params.split.lambda_
+                    )
+                    node.tree_node = tree.add_leaf(depth, w)
+                else:
+                    assert decision is not None
+                    issplits.append(True)
+                    sfields.append(decision.field)
+                    node.tree_node = tree.add_split(
+                        depth,
+                        decision.field,
+                        decision.threshold_bin,
+                        decision.is_categorical,
+                        decision.missing_left,
+                    )
+                    splits_this_level[vid] = decision
+
+            # Attach children pointers now that parents have real node ids.
+            if depth > 0:
+                for vid, node in live.items():
+                    parent_vid, is_left = self._parent_of[vid]
+                    parent_node = self._node_ids[parent_vid]
+                    if is_left:
+                        tree.set_children(parent_node, node.tree_node, tree.right[parent_node])
+                    else:
+                        tree.set_children(parent_node, tree.left[parent_node], node.tree_node)
+
+            if not splits_this_level:
+                break
+
+            # Step 3, level-wise: one pass re-assigns every record whose
+            # vertex split; leaves keep their records parked.
+            self._node_ids = {vid: node.tree_node for vid, node in live.items()}
+            self._parent_of = {}
+            new_assignment = np.full(n, -1, dtype=np.int64)
+            next_vid = 0
+            explicit_children: list[tuple[int, np.ndarray]] = []
+            for vid, decision in splits_this_level.items():
+                node = live[vid]
+                member = np.nonzero(vertex_of_record == vid)[0]
+                codes = data.codes[member, decision.field].astype(np.int64)
+                fspec = data.spec.fields[decision.field]
+                missing = codes == fspec.missing_bin
+                if decision.is_categorical:
+                    left = codes == decision.threshold_bin
+                else:
+                    left = codes <= decision.threshold_bin
+                left = np.where(missing, decision.missing_left, left)
+                left_idx = member[left]
+                right_idx = member[~left]
+                child_fracs.append(min(left_idx.size, right_idx.size) / max(member.size, 1))
+
+                lvid, rvid = next_vid, next_vid + 1
+                next_vid += 2
+                new_assignment[left_idx] = lvid
+                new_assignment[right_idx] = rvid
+                self._parent_of[lvid] = (vid, True)
+                self._parent_of[rvid] = (vid, False)
+                next_live[lvid] = _LevelNode(
+                    tree_node=-1,
+                    g_tot=decision.grad_left,
+                    h_tot=decision.hess_left,
+                    c_tot=decision.count_left,
+                    n_reach=int(left_idx.size),
+                )
+                next_live[rvid] = _LevelNode(
+                    tree_node=-1,
+                    g_tot=decision.grad_right,
+                    h_tot=decision.hess_right,
+                    c_tot=decision.count_right,
+                    n_reach=int(right_idx.size),
+                )
+                # Smaller-child rule, per vertex: bin the smaller explicitly,
+                # derive the sibling by subtraction.
+                if depth + 1 < params.max_depth:
+                    small_vid = lvid if left_idx.size <= right_idx.size else rvid
+                    small_idx = left_idx if small_vid == lvid else right_idx
+                    explicit_children.append((small_vid, small_idx))
+
+            # Step 1, level-wise: one streaming pass bins all the explicit
+            # children's records into per-vertex histograms.
+            for small_vid, small_idx in explicit_children:
+                small_hist = self.builder.build(small_idx, g, h)
+                next_live[small_vid].hist = small_hist
+                next_live[small_vid].binned_here = int(small_idx.size)
+                parent_vid, small_is_left = self._parent_of[small_vid]
+                sibling_vid = small_vid + 1 if small_is_left else small_vid - 1
+                parent_hist = live[parent_vid].hist
+                assert parent_hist is not None
+                next_live[sibling_vid].hist = parent_hist.subtract(small_hist)
+
+            vertex_of_record = new_assignment
+            live = next_live
+
+        tree.validate()
+        work = TreeWork(
+            depth=np.asarray(depths, dtype=np.int64),
+            n_reach=np.asarray(reaches, dtype=np.int64),
+            n_binned=np.asarray(binneds, dtype=np.int64),
+            split_evaluated=np.asarray(evals, dtype=bool),
+            is_split=np.asarray(issplits, dtype=bool),
+            split_field=np.asarray(sfields, dtype=np.int64),
+            relevant_fields=tree.relevant_fields(),
+            sum_path_len=0.0,
+            mean_path_len=0.0,
+            max_path_len=0,
+            loss_after=0.0,
+        )
+        return tree, work, child_fracs, root_counts
+
+
+def train_level_wise(data: BinnedDataset, params: TrainParams | None = None) -> TrainResult:
+    """Convenience wrapper mirroring :func:`repro.gbdt.train`."""
+    return LevelWiseTrainer(data, params).fit()

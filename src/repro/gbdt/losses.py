@@ -1,0 +1,109 @@
+"""Loss functions and gradient statistics for gradient boosting.
+
+GB is agnostic about the loss as long as it is differentiable and convex
+(Sec. II-A); training only consumes the per-record first- and second-order
+gradient statistics ``g_i = dl/dF`` and ``h_i = d^2l/dF^2`` evaluated at the
+current ensemble margin ``F``.  We implement the two losses the benchmarks
+need: squared error (regression / pointwise ranking) and logistic (binary
+classification).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..datasets.schema import TaskKind
+
+__all__ = ["Loss", "SquaredErrorLoss", "LogisticLoss", "loss_for_task"]
+
+#: Floor on the hessian to keep leaf weights finite on pure nodes.
+_H_EPS = 1e-16
+
+
+class Loss(ABC):
+    """Interface: margin -> (loss value, g, h)."""
+
+    name: str = "loss"
+
+    @abstractmethod
+    def base_margin(self, y: np.ndarray) -> float:
+        """Initial constant margin F0 minimizing the loss over ``y``."""
+
+    @abstractmethod
+    def value(self, margin: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss at the given margins."""
+
+    @abstractmethod
+    def gradients(self, margin: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-record (g, h) at the given margins; float64 arrays."""
+
+    def predict_transform(self, margin: np.ndarray) -> np.ndarray:
+        """Map margins to the natural prediction space (identity by default)."""
+        return margin
+
+
+class SquaredErrorLoss(Loss):
+    """l(F, y) = 0.5 (F - y)^2;  g = F - y,  h = 1."""
+
+    name = "squared_error"
+
+    def base_margin(self, y: np.ndarray) -> float:
+        return float(np.mean(y)) if y.size else 0.0
+
+    def value(self, margin: np.ndarray, y: np.ndarray) -> float:
+        d = margin - y
+        return float(0.5 * np.mean(d * d)) if y.size else 0.0
+
+    def gradients(self, margin: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        g = (margin - y).astype(np.float64)
+        h = np.ones_like(g)
+        return g, h
+
+
+class LogisticLoss(Loss):
+    """Binary cross-entropy on the sigmoid of the margin.
+
+    g = p - y,  h = p (1 - p)  with  p = sigmoid(F).
+    """
+
+    name = "logistic"
+
+    def base_margin(self, y: np.ndarray) -> float:
+        if y.size == 0:
+            return 0.0
+        p = float(np.clip(np.mean(y), 1e-6, 1.0 - 1e-6))
+        return float(np.log(p / (1.0 - p)))
+
+    @staticmethod
+    def _sigmoid(margin: np.ndarray) -> np.ndarray:
+        # Numerically stable: exp of a non-positive argument only.
+        out = np.empty_like(margin, dtype=np.float64)
+        pos = margin >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-margin[pos]))
+        e = np.exp(margin[~pos])
+        out[~pos] = e / (1.0 + e)
+        return out
+
+    def value(self, margin: np.ndarray, y: np.ndarray) -> float:
+        if y.size == 0:
+            return 0.0
+        # log(1 + exp(F)) - y F, computed stably via logaddexp.
+        return float(np.mean(np.logaddexp(0.0, margin) - y * margin))
+
+    def gradients(self, margin: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        p = self._sigmoid(np.asarray(margin, dtype=np.float64))
+        g = p - y
+        h = np.maximum(p * (1.0 - p), _H_EPS)
+        return g, h
+
+    def predict_transform(self, margin: np.ndarray) -> np.ndarray:
+        return self._sigmoid(np.asarray(margin, dtype=np.float64))
+
+
+def loss_for_task(task: TaskKind) -> Loss:
+    """Loss used for each benchmark task (ranking trained pointwise)."""
+    if task is TaskKind.BINARY:
+        return LogisticLoss()
+    return SquaredErrorLoss()

@@ -1,0 +1,363 @@
+"""Work profiles: the contract between functional training and timing models.
+
+The paper's simulator derives time from *work quantities* -- how many records
+each step touches at each tree vertex, how many bytes each layout moves, how
+many bins step 2 scans -- because Booster's compute is hidden under memory by
+construction (Sec. III-B) and the baselines are idealized to pure parallelism
+limits (Sec. IV).  :class:`WorkProfile` captures exactly those quantities from
+a real training run; every hardware model consumes it, so all systems are
+timed on *identical* work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.layout import RecordLayout
+from ..datasets.schema import DatasetSpec
+
+__all__ = ["TreeWork", "WorkProfile", "InferenceWork"]
+
+
+@dataclass
+class TreeWork:
+    """Per-node and per-tree work quantities for one boosting round."""
+
+    depth: np.ndarray  # per-node depth
+    n_reach: np.ndarray  # records reaching the node
+    n_binned: np.ndarray  # records explicitly histogram-binned (0 => subtraction)
+    split_evaluated: np.ndarray  # bool: step 2 scanned this node's histogram
+    is_split: np.ndarray  # bool: node became interior
+    split_field: np.ndarray  # field id used at interior nodes, -1 otherwise
+    relevant_fields: np.ndarray  # unique fields used by the tree
+    sum_path_len: float  # total interior hops over all records (step 5)
+    mean_path_len: float
+    max_path_len: int
+    loss_after: float
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.depth.shape[0])
+
+    @property
+    def n_splits(self) -> int:
+        return int(self.is_split.sum())
+
+    @property
+    def n_leaves(self) -> int:
+        return self.n_nodes - self.n_splits
+
+    @property
+    def max_depth(self) -> int:
+        return int(self.depth.max()) if self.n_nodes else 0
+
+    @property
+    def n_relevant_fields(self) -> int:
+        return int(self.relevant_fields.shape[0])
+
+
+@dataclass
+class WorkProfile:
+    """All work quantities from one training run.
+
+    ``warp_conflict_factor`` is the expected maximum same-bin multiplicity
+    within a 32-record group, averaged over fields -- the quantity that
+    serializes GPU atomic histogram updates (Sec. II-D).  ``path_len_cv`` is
+    the coefficient of variation of traversal path lengths, the SIMT
+    divergence proxy.  ``smaller_child_fraction_mean`` documents split
+    lopsidedness (the Allstate/Flight 99/1 behaviour).
+    """
+
+    spec: DatasetSpec
+    trees: list[TreeWork]
+    warp_conflict_factor: float = 1.0
+    path_len_cv: float = 0.0
+    smaller_child_fraction_mean: float = 0.5
+    train_seconds_wall: float = 0.0
+    losses: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: Per-bin access counts measured at the root of the first tree; drives
+    #: the CPU cache model (skewed data concentrates updates in few hot bins).
+    root_bin_counts: np.ndarray | None = None
+    #: Growth configuration: "vertex" (vertex-by-vertex, the paper's default
+    #: assumption) or "level" (level-by-level with per-vertex histograms).
+    growth: str = "vertex"
+
+    def total_levels(self) -> int:
+        """Tree levels processed across the run (level-wise sync points)."""
+        return int(sum(t.max_depth + 1 for t in self.trees))
+
+    def mean_live_vertices(self) -> float:
+        """Average vertices evaluated per level (level-wise histogram
+        residency requirement: this many per-vertex histograms live on chip)."""
+        levels = self.total_levels()
+        if levels == 0:
+            return 1.0
+        return max(1.0, self.step2_evaluations() / levels)
+
+    def scaled(self, factor: float) -> "WorkProfile":
+        """Extrapolate the profile to a larger/smaller record count.
+
+        Per-node record counts, traversal hops, and the record total scale
+        linearly; tree *structure* (node counts, depths, fields, bins) and the
+        per-record statistics (conflict factor, path lengths) are record-count
+        invariant.  Used to report results at the paper's dataset sizes
+        (Table III) and for the Fig. 12 10x scaling study, mirroring the
+        paper's own record-replication methodology.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        trees = [
+            TreeWork(
+                depth=t.depth,
+                n_reach=np.round(t.n_reach * factor).astype(np.int64),
+                n_binned=np.round(t.n_binned * factor).astype(np.int64),
+                split_evaluated=t.split_evaluated,
+                is_split=t.is_split,
+                split_field=t.split_field,
+                relevant_fields=t.relevant_fields,
+                sum_path_len=t.sum_path_len * factor,
+                mean_path_len=t.mean_path_len,
+                max_path_len=t.max_path_len,
+                loss_after=t.loss_after,
+            )
+            for t in self.trees
+        ]
+        return WorkProfile(
+            spec=self.spec.with_records(max(1, int(round(self.spec.n_records * factor)))),
+            trees=trees,
+            warp_conflict_factor=self.warp_conflict_factor,
+            path_len_cv=self.path_len_cv,
+            smaller_child_fraction_mean=self.smaller_child_fraction_mean,
+            train_seconds_wall=self.train_seconds_wall,
+            losses=self.losses,
+            root_bin_counts=self.root_bin_counts,
+            growth=self.growth,
+        )
+
+    def with_trees_scaled(self, n_trees_target: int) -> "WorkProfile":
+        """Extrapolate to the paper's tree count (500) by replicating the
+        measured per-tree work cyclically.  Per-tree work is statistically
+        homogeneous after the first few boosting rounds, and every reported
+        metric is a ratio of sums over trees."""
+        if n_trees_target < 1:
+            raise ValueError("n_trees_target must be >= 1")
+        if not self.trees:
+            return self
+        reps = [self.trees[i % len(self.trees)] for i in range(n_trees_target)]
+        return WorkProfile(
+            spec=self.spec,
+            trees=reps,
+            warp_conflict_factor=self.warp_conflict_factor,
+            path_len_cv=self.path_len_cv,
+            smaller_child_fraction_mean=self.smaller_child_fraction_mean,
+            train_seconds_wall=self.train_seconds_wall,
+            losses=self.losses,
+            root_bin_counts=self.root_bin_counts,
+            growth=self.growth,
+        )
+
+    # -- structural shortcuts -----------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return self.spec.n_records
+
+    @property
+    def n_fields(self) -> int:
+        return self.spec.n_fields
+
+    @property
+    def n_total_bins(self) -> int:
+        return self.spec.n_total_bins
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    # -- step 1: histogram binning ---------------------------------------------
+
+    def binned_records(self) -> float:
+        """Total records explicitly binned across all nodes and trees."""
+        return float(sum(t.n_binned.sum() for t in self.trees))
+
+    def binned_record_fields(self) -> float:
+        """Total (record, field) histogram updates -- the step-1 op count."""
+        return self.binned_records() * self.n_fields
+
+    def step1_bytes(self, layout: RecordLayout) -> float:
+        """DRAM bytes for step 1: pointer stream + row-major records + g/h."""
+        n = self.n_records
+        total = 0.0
+        for t in self.trees:
+            binned = t.n_binned[t.n_binned > 0]
+            if binned.size == 0:
+                continue
+            total += float(np.sum(layout.row_bytes_gather(binned, n)))
+            total += float(np.sum(layout.stats_bytes_gather(binned, n)))
+            total += float(np.sum(layout.pointer_bytes(binned)))
+        return total
+
+    def hot_access_fraction(self, n_hot_bins: int) -> float:
+        """Fraction of histogram updates that land in the ``n_hot_bins``
+        most-accessed bins (measured at the first tree's root).
+
+        This is the access-weighted cache-hit fraction for a cache holding
+        ``n_hot_bins`` bin entries: near 1 for skewed categorical benchmarks
+        (Allstate/Flight concentrate updates on head categories), near
+        ``n_hot_bins / total_bins`` for uniform numerical ones (IoT, Higgs).
+        """
+        if n_hot_bins <= 0:
+            return 0.0
+        counts = self.root_bin_counts
+        if counts is None or counts.size == 0:
+            return min(1.0, n_hot_bins / max(self.n_total_bins, 1))
+        if n_hot_bins >= counts.size:
+            return 1.0
+        total = float(counts.sum())
+        if total <= 0:
+            return 1.0
+        top = np.partition(counts, counts.size - n_hot_bins)[-n_hot_bins:]
+        return float(top.sum() / total)
+
+    # -- step 2: split choice (host) ----------------------------------------------
+
+    def step2_evaluations(self) -> int:
+        """Nodes whose histogram was scanned for a split."""
+        return int(sum(t.split_evaluated.sum() for t in self.trees))
+
+    def step2_bin_scans(self) -> float:
+        """Total bins scanned by step 2 (evaluations x total bins)."""
+        return float(self.step2_evaluations() * self.n_total_bins)
+
+    # -- step 3: single-predicate evaluation ---------------------------------------
+
+    def partition_records(self) -> float:
+        """Total records partitioned at split nodes (step-3 op count)."""
+        return float(sum(t.n_reach[t.is_split].sum() for t in self.trees))
+
+    def step3_bytes(self, layout: RecordLayout, column_format: bool) -> float:
+        """DRAM bytes for step 3.
+
+        With the redundant column format only the predicate's single-field
+        column is gathered; without it the whole row-major record is fetched
+        to use one field (the waste the paper's third contribution removes).
+        Both variants read and write the record-pointer streams.
+        """
+        n = self.n_records
+        total = 0.0
+        for t in self.trees:
+            mask = t.is_split
+            if not mask.any():
+                continue
+            reach = t.n_reach[mask]
+            if column_format:
+                fields = t.split_field[mask]
+                total += float(np.sum(layout.column_bytes_gather(fields, reach, n)))
+            else:
+                total += float(np.sum(layout.row_bytes_gather(reach, n)))
+            # Read the incoming pointer stream, write true/false streams.
+            total += 2.0 * float(np.sum(layout.pointer_bytes(reach)))
+        return total
+
+    # -- step 5: one-tree traversal --------------------------------------------------
+
+    def traversal_hops(self) -> float:
+        """Total interior-node visits over all records and trees."""
+        return float(sum(t.sum_path_len for t in self.trees))
+
+    def traversal_records(self) -> float:
+        return float(self.n_records * self.n_trees)
+
+    def mean_relevant_fields(self) -> float:
+        if not self.trees:
+            return 0.0
+        return float(np.mean([t.n_relevant_fields for t in self.trees]))
+
+    def step5_bytes(self, layout: RecordLayout, column_format: bool) -> float:
+        """DRAM bytes for step 5: record fetch + g/h read/update + labels.
+
+        With the column format only the tree's relevant-field columns stream
+        in; otherwise full row-major records do.
+        """
+        n = self.n_records
+        total = 0.0
+        for t in self.trees:
+            if column_format:
+                total += layout.column_bytes_sequential(t.relevant_fields.tolist(), n)
+            else:
+                total += layout.row_bytes_sequential(n)
+            total += 2.0 * layout.stats_bytes_sequential(n)  # g/h read + write
+            total += float(layout.pointer_bytes(n))  # ground-truth labels
+        return total
+
+    # -- whole-run summaries -----------------------------------------------------------
+
+    def mean_leaf_depth(self) -> float:
+        depths = []
+        for t in self.trees:
+            leaf = ~t.is_split
+            depths.append(t.depth[leaf])
+        if not depths:
+            return 0.0
+        return float(np.concatenate(depths).mean())
+
+    def mean_max_depth(self) -> float:
+        if not self.trees:
+            return 0.0
+        return float(np.mean([t.max_depth for t in self.trees]))
+
+    def mean_path_len(self) -> float:
+        if not self.trees:
+            return 0.0
+        return float(np.mean([t.mean_path_len for t in self.trees]))
+
+    def summary(self) -> dict:
+        """Human-readable run summary used by reports and EXPERIMENTS.md."""
+        return {
+            "dataset": self.spec.name,
+            "records": self.n_records,
+            "fields": self.n_fields,
+            "total_bins": self.n_total_bins,
+            "trees": self.n_trees,
+            "mean_leaf_depth": round(self.mean_leaf_depth(), 3),
+            "mean_path_len": round(self.mean_path_len(), 3),
+            "binned_records": self.binned_records(),
+            "partition_records": self.partition_records(),
+            "traversal_hops": self.traversal_hops(),
+            "step2_evaluations": self.step2_evaluations(),
+            "warp_conflict_factor": round(self.warp_conflict_factor, 3),
+            "path_len_cv": round(self.path_len_cv, 4),
+            "smaller_child_fraction": round(self.smaller_child_fraction_mean, 4),
+        }
+
+
+@dataclass
+class InferenceWork:
+    """Work quantities for batch inference (Sec. III-D / Fig. 13).
+
+    Booster's per-record cost in a BU is bounded by the *maximum* tree depth
+    (the table walk always provisions max-depth lookups); CPU/GPU cost follows
+    the actual path lengths.  Both are captured here.
+    """
+
+    spec: DatasetSpec
+    n_records: int
+    n_trees: int
+    max_depth: int
+    mean_path_len: float
+    sum_path_len: float
+    path_len_cv: float
+    mean_tree_nodes: float
+    table_bytes_total: float
+
+    @property
+    def total_hops_actual(self) -> float:
+        """CPU/GPU traversal work: actual interior hops."""
+        return self.sum_path_len
+
+    @property
+    def total_hops_padded(self) -> float:
+        """Booster traversal work: max-depth-padded lookups per record-tree."""
+        return float(self.n_records) * self.n_trees * self.max_depth

@@ -1,0 +1,94 @@
+"""Sustained-bandwidth calibration from the cycle-level DRAM model.
+
+The analytic timing models need "effective bytes per cycle" for each access
+pattern.  Rather than invent efficiencies, we *measure* them once per DRAM
+configuration by running representative traces through the cycle-level
+simulator: a streaming trace, and ascending gathers at a ladder of selection
+densities.  Results are cached per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import DRAMConfig
+from .dram import DRAMSimulator
+from .stream import gather_blocks, sequential
+
+__all__ = ["BandwidthProfile", "bandwidth_profile"]
+
+#: Selection densities at which gather bandwidth is measured.
+_DENSITY_LADDER = (0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+#: Trace length used for calibration; long enough that fill/drain effects are
+#: negligible (<1%), short enough to simulate in well under a second.
+_CAL_BLOCKS = 24_000
+
+_CACHE: dict[tuple, "BandwidthProfile"] = {}
+
+
+@dataclass
+class BandwidthProfile:
+    """Measured sustained bandwidth (bytes/DRAM-cycle) per access pattern."""
+
+    config: DRAMConfig
+    sequential_bpc: float
+    gather_densities: np.ndarray
+    gather_bpc: np.ndarray
+    sequential_latency: float = 0.0
+
+    @property
+    def sequential_gbps(self) -> float:
+        return self.sequential_bpc * self.config.clock_ghz
+
+    def gather_bpc_at(self, density) -> np.ndarray:
+        """Interpolated gather bandwidth at arbitrary densities.
+
+        Below the measured ladder the curve is clamped (sparse gathers bottom
+        out at per-row activation cost); above, at the density-1.0 point,
+        which equals streaming.
+        """
+        d = np.clip(np.asarray(density, dtype=np.float64), 0.0, 1.0)
+        out = np.interp(d, self.gather_densities, self.gather_bpc)
+        return out if out.ndim else float(out)
+
+    def seconds_for_bytes(self, nbytes: float, density: float | None = None) -> float:
+        """Wall-clock seconds to move ``nbytes`` with the given pattern."""
+        bpc = self.sequential_bpc if density is None else float(self.gather_bpc_at(density))
+        if nbytes <= 0:
+            return 0.0
+        cycles = nbytes / max(bpc, 1e-9)
+        return cycles / (self.config.clock_ghz * 1e9)
+
+
+def bandwidth_profile(
+    config: DRAMConfig | None = None, window: int = 16, n_blocks: int = _CAL_BLOCKS
+) -> BandwidthProfile:
+    """Measure (and cache) the bandwidth profile for a DRAM configuration."""
+    cfg = config or DRAMConfig()
+    key = (cfg, window, n_blocks)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    sim = DRAMSimulator(cfg, window=window)
+    seq_stats = sim.run(sequential(n_blocks))
+    densities = np.asarray(_DENSITY_LADDER, dtype=np.float64)
+    bpcs = np.empty_like(densities)
+    for i, d in enumerate(densities):
+        universe = max(int(n_blocks / d), 1)
+        trace = gather_blocks(universe, d, seed=17)
+        stats = sim.run(trace)
+        bpcs[i] = stats.bytes_per_cycle if stats.n_requests else 0.0
+
+    profile = BandwidthProfile(
+        config=cfg,
+        sequential_bpc=seq_stats.bytes_per_cycle,
+        gather_densities=densities,
+        gather_bpc=bpcs,
+        sequential_latency=seq_stats.mean_latency,
+    )
+    _CACHE[key] = profile
+    return profile

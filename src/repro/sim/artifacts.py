@@ -1,0 +1,250 @@
+"""Renderable reproductions of every paper table and figure.
+
+Each builder takes a shared :class:`Executor` and returns the rendered text
+artifact.  The benchmark suite, the ``paper_repro`` example, and the CLI all
+go through these functions, so there is exactly one implementation of each
+table/figure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..datasets import paper_seq_minutes, table3_rows
+from ..energy import AreaPowerModel, EnergyModel, SRAMEnergyModel
+from ..memory import DRAMSimulator, sequential
+from .executor import Executor
+from .report import render_table
+from .results import geomean
+
+__all__ = ["ARTIFACTS", "build", "build_all"]
+
+
+def table3(ex: Executor) -> str:
+    rows = []
+    for meta in table3_rows():
+        prof = ex.profile(meta["name"])
+        mins = ex.model("sequential").training_seconds(prof) / 60
+        rows.append(
+            [
+                meta["name"],
+                f"{meta['paper_records'] / 1e6:.0f}M",
+                meta["fields"],
+                meta["categorical_fields"],
+                meta["features_onehot"],
+                f"{mins:.1f}",
+                f"{paper_seq_minutes(meta['name']):.1f}",
+            ]
+        )
+    return render_table(
+        ["name", "records", "fields", "categ", "features", "model seq-min", "paper"],
+        rows,
+        title="Table III -- datasets",
+    )
+
+
+def table4(ex: Executor) -> str:
+    stats = DRAMSimulator().run(sequential(24_000))
+    return render_table(
+        ["quantity", "value"],
+        [
+            ["config", "24 ch x 16 banks, 1 KB rows, 12-12-12-28"],
+            ["sustained stream", f"{stats.sustained_gbps:.1f} GB/s (paper ~400)"],
+            ["row hit rate", f"{stats.row_hit_rate:.3f}"],
+        ],
+        title="Table IV -- DRAM",
+    )
+
+
+def table5(ex: Executor) -> str:
+    m = SRAMEnergyModel()
+    return render_table(
+        ["config", "SRAM", "energy (norm.)"],
+        [
+            ["Ideal 32-core", "32 KB", f"{m.normalized(32 * 1024):.2f}"],
+            ["Ideal GPU", "96 KB x32 banks", f"{m.normalized(96 * 1024, 32):.2f}"],
+            ["Booster", "2 KB", f"{m.normalized(2 * 1024):.2f}"],
+        ],
+        title="Table V -- normalized SRAM access energy",
+    )
+
+
+def table6(ex: Executor) -> str:
+    rows = [[n, f"{a:.1f}", f"{p:.1f}"] for n, a, p in AreaPowerModel().estimate().rows()]
+    return render_table(
+        ["component", "area mm2", "power W"],
+        rows,
+        title="Table VI -- ASIC budget (paper: 60.0 mm2 / 23.2 W)",
+    )
+
+
+def fig6(ex: Executor) -> str:
+    rows = []
+    for name in ex.all_datasets():
+        st = ex.model("sequential").training_times(ex.profile(name))
+        rows.append(
+            [name]
+            + [f"{100 * v / st.total:.1f}%" for v in (st.step1, st.step2, st.step3, st.step5)]
+        )
+    return render_table(
+        ["dataset", "step1", "step2", "step3", "step5"],
+        rows,
+        title="Fig. 6 -- sequential breakdown",
+    )
+
+
+def fig7(ex: Executor) -> str:
+    rows, sps = [], []
+    for name in ex.all_datasets():
+        cmp = ex.compare(name)
+        b = cmp.speedup("booster")
+        sps.append(b)
+        rows.append(
+            [
+                name,
+                f"{cmp.speedup('ideal-gpu'):.2f}x",
+                f"{cmp.speedup('inter-record'):.2f}x",
+                f"{b:.2f}x",
+            ]
+        )
+    rows.append(["geomean", "-", "-", f"{geomean(sps):.2f}x"])
+    return render_table(
+        ["dataset", "Ideal GPU", "IR", "Booster"],
+        rows,
+        title="Fig. 7 -- speedup over Ideal 32-core (paper geomean 11.4x)",
+    )
+
+
+def fig8(ex: Executor) -> str:
+    rows = []
+    for name in ex.all_datasets():
+        cmp = ex.compare(name, systems=["ideal-32-core", "ideal-gpu", "booster"])
+        for s in ("ideal-32-core", "ideal-gpu", "booster"):
+            nb = cmp.normalized_breakdown(s)
+            rows.append(
+                [name, s]
+                + [f"{nb[k]:.3f}" for k in ("step1", "step2", "step3", "step5", "other", "total")]
+            )
+    return render_table(
+        ["dataset", "system", "s1", "s2", "s3", "s5", "other", "total"],
+        rows,
+        title="Fig. 8 -- normalized breakdown",
+    )
+
+
+def fig9(ex: Executor) -> str:
+    rows = []
+    for name in ex.all_datasets():
+        cmp = ex.compare(
+            name,
+            systems=["ideal-32-core", "booster-no-opts", "booster-group-by-field", "booster"],
+        )
+        rows.append(
+            [
+                name,
+                f"{cmp.speedup('booster-no-opts'):.2f}x",
+                f"{cmp.speedup('booster-group-by-field'):.2f}x",
+                f"{cmp.speedup('booster'):.2f}x",
+            ]
+        )
+    return render_table(
+        ["dataset", "no-opts", "+group-by-field", "+column"],
+        rows,
+        title="Fig. 9 -- optimization ablation",
+    )
+
+
+def fig10(ex: Executor) -> str:
+    em = EnergyModel()
+    sram = {s: [] for s in ("ideal-32-core", "ideal-gpu", "booster")}
+    dram = {s: [] for s in sram}
+    for name in ex.all_datasets():
+        cmp = em.compare(ex.profile(name))
+        bs, bd = cmp["ideal-32-core"].sram_joules, cmp["ideal-32-core"].dram_joules
+        for s, e in cmp.items():
+            sram[s].append(e.sram_joules / bs)
+            dram[s].append(e.dram_joules / bd)
+    rows = [[s, f"{np.mean(sram[s]):.2f}", f"{np.mean(dram[s]):.2f}"] for s in sram]
+    return render_table(
+        ["system", "SRAM (norm.)", "DRAM (norm.)"],
+        rows,
+        title="Fig. 10 -- energy (mean over benchmarks)",
+    )
+
+
+def fig11(ex: Executor) -> str:
+    rows = []
+    for name in ex.all_datasets():
+        cmp = ex.compare(
+            name, systems=["ideal-32-core", "real-32-core", "ideal-gpu", "real-gpu"]
+        )
+        base = cmp.seconds("ideal-32-core")
+        rows.append(
+            [name]
+            + [f"{cmp.seconds(s) / base:.2f}" for s in ("real-32-core", "ideal-gpu", "real-gpu")]
+        )
+    return render_table(
+        ["dataset", "Real 32", "Ideal GPU", "Real GPU"],
+        rows,
+        title="Fig. 11 -- ideal vs real (time / Ideal 32-core)",
+    )
+
+
+def fig12(ex: Executor) -> str:
+    rows, sps = [], []
+    for name in ex.all_datasets():
+        cmp = ex.compare(name, systems=["ideal-32-core", "booster"], extra_scale=10.0)
+        s = cmp.speedup("booster")
+        sps.append(s)
+        rows.append([name, f"{s:.2f}x"])
+    rows.append(["geomean", f"{geomean(sps):.2f}x"])
+    return render_table(
+        ["dataset", "Booster at 10x records"],
+        rows,
+        title="Fig. 12 -- 10x scaling (paper geomean 27.9x)",
+    )
+
+
+def fig13(ex: Executor) -> str:
+    rows, sps = [], []
+    for name in ex.all_datasets():
+        s = ex.inference(name).speedup("booster")
+        sps.append(s)
+        rows.append([name, f"{s:.1f}x"])
+    rows.append(["mean", f"{geomean(sps):.1f}x"])
+    return render_table(
+        ["dataset", "inference speedup"],
+        rows,
+        title="Fig. 13 -- batch inference (paper mean 45x)",
+    )
+
+
+ARTIFACTS: dict[str, Callable[[Executor], str]] = {
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}
+
+
+def build(name: str, ex: Executor) -> str:
+    """Render one artifact by name (KeyError lists the choices)."""
+    if name not in ARTIFACTS:
+        raise KeyError(f"unknown artifact {name!r}; choose from {sorted(ARTIFACTS)}")
+    return ARTIFACTS[name](ex)
+
+
+def build_all(ex: Executor, names: list[str] | None = None) -> str:
+    """Render several artifacts joined by blank lines."""
+    keys = names or list(ARTIFACTS)
+    return "\n\n".join(build(k, ex) for k in keys)

@@ -1,0 +1,170 @@
+"""End-to-end experiment executor.
+
+Pipeline per dataset (mirrors the paper's methodology, Sec. IV):
+
+1. generate the synthetic benchmark at simulation scale (registry);
+2. run the functional GBDT trainer to obtain a :class:`WorkProfile`;
+3. extrapolate the profile to the paper's record count (Table III) and tree
+   count (500 trees) -- time models consume paper-scale work;
+4. evaluate every hardware model on the identical profile.
+
+Training runs are cached per (dataset, records, trees, seed) so the whole
+benchmark suite trains each dataset exactly once per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import (
+    HardwareModel,
+    IdealGPU,
+    IdealMulticore,
+    InterRecordAccelerator,
+    RealGPU,
+    RealMulticore,
+    SequentialCPU,
+)
+from ..baselines.base import StepTimes
+from ..core import BoosterConfig, BoosterEngine
+from ..datasets import BENCHMARK_NAMES, dataset_spec, generate
+from ..gbdt import EnsemblePredictor, TrainParams, TrainResult, WorkProfile, train
+from ..memory.profile import BandwidthProfile, bandwidth_profile
+from .calibrate import DEFAULT_COSTS, CostModel
+from .results import ComparisonResult, InferenceResult
+
+__all__ = ["Executor", "quick_compare", "PAPER_TREES", "DEFAULT_SIM_TREES"]
+
+#: The paper trains 500 trees of depth up to 6 per benchmark (Sec. IV).
+PAPER_TREES = 500
+#: Boosting rounds actually executed by the functional simulator; per-tree
+#: work is homogeneous after the first rounds and all results are ratios.
+DEFAULT_SIM_TREES = 20
+
+_TRAIN_CACHE: dict[tuple, TrainResult] = {}
+
+
+@dataclass
+class Executor:
+    """Runs the full dataset -> profile -> timing pipeline with caching."""
+
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    booster_config: BoosterConfig = field(default_factory=BoosterConfig)
+    sim_records: int | None = None  # None => registry default (paper / 1000)
+    sim_trees: int = DEFAULT_SIM_TREES
+    seed: int = 7
+    scale_to_paper: bool = True
+
+    def __post_init__(self) -> None:
+        self._bandwidth: BandwidthProfile = bandwidth_profile()
+        self._models = self._build_models()
+
+    # -- model registry ------------------------------------------------------------
+
+    def _build_models(self) -> dict[str, HardwareModel]:
+        kw = dict(costs=self.costs, bandwidth=self._bandwidth)
+        models: dict[str, HardwareModel] = {
+            "sequential": SequentialCPU(**kw),
+            "ideal-32-core": IdealMulticore(**kw),
+            "real-32-core": RealMulticore(**kw),
+            "ideal-gpu": IdealGPU(**kw),
+            "real-gpu": RealGPU(**kw),
+            "inter-record": InterRecordAccelerator(**kw),
+            "booster": BoosterEngine(config=self.booster_config, **kw),
+            "booster-no-opts": BoosterEngine(
+                config=self.booster_config,
+                mapping_strategy="naive",
+                column_format=False,
+                **kw,
+            ),
+            "booster-group-by-field": BoosterEngine(
+                config=self.booster_config,
+                mapping_strategy="field",
+                column_format=False,
+                **kw,
+            ),
+        }
+        return models
+
+    def model(self, name: str) -> HardwareModel:
+        return self._models[name]
+
+    @property
+    def model_names(self) -> list[str]:
+        return list(self._models)
+
+    # -- functional training (cached) --------------------------------------------------
+
+    def train_result(self, dataset: str) -> TrainResult:
+        spec = dataset_spec(dataset, n_records=self.sim_records, seed=self.seed)
+        key = (dataset, spec.n_records, self.sim_trees, self.seed)
+        cached = _TRAIN_CACHE.get(key)
+        if cached is not None:
+            return cached
+        data = generate(spec)
+        result = train(data, TrainParams(n_trees=self.sim_trees))
+        _TRAIN_CACHE[key] = result
+        return result
+
+    def profile(self, dataset: str, extra_scale: float = 1.0) -> WorkProfile:
+        """Paper-scale work profile (records x ``extra_scale``, 500 trees)."""
+        result = self.train_result(dataset)
+        prof = result.profile
+        if self.scale_to_paper:
+            k = prof.spec.paper_records / prof.spec.n_records
+            prof = prof.scaled(k * extra_scale).with_trees_scaled(PAPER_TREES)
+        elif extra_scale != 1.0:
+            prof = prof.scaled(extra_scale)
+        return prof
+
+    # -- experiments ----------------------------------------------------------------------
+
+    def compare(
+        self,
+        dataset: str,
+        systems: list[str] | None = None,
+        extra_scale: float = 1.0,
+    ) -> ComparisonResult:
+        """Training-time comparison (the Fig. 7 / 8 / 9 / 12 workhorse)."""
+        prof = self.profile(dataset, extra_scale=extra_scale)
+        names = systems or [
+            "sequential",
+            "ideal-32-core",
+            "ideal-gpu",
+            "inter-record",
+            "booster",
+        ]
+        times: dict[str, StepTimes] = {}
+        for name in names:
+            times[name] = self._models[name].training_times(prof)
+        return ComparisonResult(
+            dataset=dataset, systems=times, profile_summary=prof.summary()
+        )
+
+    def inference(
+        self,
+        dataset: str,
+        systems: list[str] | None = None,
+        n_trees: int = PAPER_TREES,
+    ) -> InferenceResult:
+        """Batch-inference comparison over all records (Fig. 13)."""
+        result = self.train_result(dataset)
+        data = generate(dataset_spec(dataset, n_records=self.sim_records, seed=self.seed))
+        predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
+        work = predictor.inference_work(data, n_trees_target=n_trees)
+        if self.scale_to_paper:
+            k = work.spec.paper_records / work.n_records
+            work.sum_path_len *= k
+            work.n_records = int(round(work.n_records * k))
+            work.spec = work.spec.with_records(work.n_records)
+        names = systems or ["ideal-32-core", "booster"]
+        seconds = {name: self._models[name].inference_seconds(work) for name in names}
+        return InferenceResult(dataset=dataset, seconds=seconds)
+
+    def all_datasets(self) -> tuple[str, ...]:
+        return BENCHMARK_NAMES
+
+
+def quick_compare(dataset: str = "higgs", **kwargs) -> ComparisonResult:
+    """One-call demo used by the README quickstart."""
+    return Executor(**kwargs).compare(dataset)

@@ -1,0 +1,82 @@
+"""Result containers and speedup arithmetic for the experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import would be circular at runtime (baselines uses sim)
+    from ..baselines.base import StepTimes
+
+__all__ = ["geomean", "ComparisonResult", "InferenceResult"]
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's aggregate for Fig. 7/12/13)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class ComparisonResult:
+    """Training-time comparison of all systems on one dataset."""
+
+    dataset: str
+    systems: dict[str, StepTimes]
+    profile_summary: dict = field(default_factory=dict)
+    baseline: str = "ideal-32-core"
+
+    def seconds(self, system: str) -> float:
+        return self.systems[system].total
+
+    def speedup(self, system: str, over: str | None = None) -> float:
+        """Speedup of ``system`` over the baseline (Fig. 7's Y-axis)."""
+        base = self.systems[over or self.baseline].total
+        mine = self.systems[system].total
+        if mine <= 0:
+            raise ValueError(f"non-positive time for {system!r}")
+        return base / mine
+
+    def normalized_breakdown(self, system: str) -> dict[str, float]:
+        """Per-step times normalized to the baseline total (Fig. 8's Y-axis)."""
+        base = self.systems[self.baseline].total
+        d = self.systems[system].as_dict()
+        return {k: v / base for k, v in d.items()}
+
+    def table(self) -> str:
+        """Human-readable comparison table."""
+        from .report import render_table
+
+        headers = ["system", "total (s)", "step1", "step2", "step3", "step5", "other", "speedup"]
+        rows = []
+        for name, st in self.systems.items():
+            rows.append(
+                [
+                    name,
+                    f"{st.total:.4g}",
+                    f"{st.step1:.3g}",
+                    f"{st.step2:.3g}",
+                    f"{st.step3:.3g}",
+                    f"{st.step5:.3g}",
+                    f"{st.other:.3g}",
+                    f"{self.speedup(name):.2f}x",
+                ]
+            )
+        return render_table(headers, rows, title=f"dataset: {self.dataset}")
+
+
+@dataclass
+class InferenceResult:
+    """Batch-inference comparison on one dataset (Fig. 13)."""
+
+    dataset: str
+    seconds: dict[str, float]
+    baseline: str = "ideal-32-core"
+
+    def speedup(self, system: str) -> float:
+        return self.seconds[self.baseline] / self.seconds[system]

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface (repro.cli) and artifact builders."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.artifacts import ARTIFACTS, build, build_all
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(["train", "higgs", "--trees", "3", "--level-wise"])
+        assert args.command == "train"
+        assert args.dataset == "higgs"
+        assert args.trees == 3
+        assert args.level_wise
+
+    def test_compare_args(self):
+        args = build_parser().parse_args(
+            ["compare", "flight", "--scale", "10", "--systems", "booster"]
+        )
+        assert args.scale == 10.0
+        assert args.systems == ["booster"]
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "mnist"])
+
+    def test_figures_defaults_empty(self):
+        args = build_parser().parse_args(["figures"])
+        assert args.names == []
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("iot", "higgs", "allstate", "mq2008", "flight"):
+            assert name in out
+
+    def test_train(self, capsys):
+        assert main(["train", "flight", "--trees", "2", "--records", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "training summary: flight" in out
+        assert "final loss" in out
+
+    def test_train_level_wise(self, capsys):
+        assert main(["train", "flight", "--trees", "2", "--records", "800", "--level-wise"]) == 0
+        assert "level" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "mq2008", "--trees", "2", "--systems", "ideal-32-core", "booster"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "booster" in out and "speedup" in out
+
+    def test_inference(self, capsys):
+        assert main(["inference", "mq2008", "--trees", "2"]) == 0
+        assert "batch inference" in capsys.readouterr().out
+
+    def test_figures_unknown_name(self, capsys):
+        assert main(["figures", "fig99", "--trees", "2"]) == 2
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "table5", "--trees", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.71" in out and "2.64" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--dataset", "mq2008", "--trees", "2"]) == 0
+        assert "3200" in capsys.readouterr().out
+
+
+class TestArtifacts:
+    def test_registry_complete(self):
+        expected = {"table3", "table4", "table5", "table6"} | {
+            f"fig{i}" for i in range(6, 14)
+        }
+        assert set(ARTIFACTS) == expected
+
+    def test_unknown_raises(self, executor):
+        with pytest.raises(KeyError, match="unknown artifact"):
+            build("fig1", executor)
+
+    def test_every_artifact_renders(self, executor):
+        for name in ARTIFACTS:
+            text = build(name, executor)
+            assert len(text.splitlines()) >= 3, name
+
+    def test_build_all_joins(self, executor):
+        text = build_all(executor, ["table5", "table6"])
+        assert "Table V" in text and "Table VI" in text
+
+
+class TestValidateCommand:
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "--trees", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "claim checklist" in out
+        assert "FAIL" not in out

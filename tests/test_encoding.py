@@ -1,0 +1,145 @@
+"""Unit tests for binned encoding (repro.datasets.encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import BinnedDataset, discretize_numerical, quantile_bin_edges
+from repro.datasets.encoding import smallest_code_dtype
+from tests.conftest import small_spec_factory
+
+
+class TestQuantileBinEdges:
+    def test_edge_count(self):
+        edges = quantile_bin_edges(np.random.default_rng(0).random(1000), 16)
+        assert edges.shape == (15,)
+
+    def test_edges_monotonic(self):
+        edges = quantile_bin_edges(np.random.default_rng(0).standard_normal(5000), 32)
+        assert np.all(np.diff(edges) >= 0)
+
+    def test_roughly_equal_mass(self):
+        x = np.random.default_rng(1).random(100_000)
+        edges = quantile_bin_edges(x, 10)
+        codes = np.searchsorted(edges, x)
+        counts = np.bincount(codes, minlength=10)
+        assert counts.min() > 0.08 * len(x)
+        assert counts.max() < 0.12 * len(x)
+
+    def test_constant_column_allowed(self):
+        edges = quantile_bin_edges(np.ones(100), 8)
+        assert edges.shape == (7,)
+        assert np.all(edges == 1.0)
+
+    def test_all_nan_column(self):
+        edges = quantile_bin_edges(np.full(10, np.nan), 4)
+        assert edges.shape == (3,)
+
+    def test_rejects_one_bin(self):
+        with pytest.raises(ValueError):
+            quantile_bin_edges(np.arange(10.0), 1)
+
+
+class TestDiscretize:
+    def test_nan_goes_to_missing_bin(self):
+        edges = np.array([0.0, 1.0])
+        x = np.array([-1.0, 0.5, 2.0, np.nan])
+        codes = discretize_numerical(x, edges, missing_bin=3)
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_inf_goes_to_missing_bin(self):
+        edges = np.array([0.0])
+        codes = discretize_numerical(np.array([np.inf, -np.inf]), edges, 9)
+        assert codes.tolist() == [9, 9]
+
+    def test_codes_within_value_range_for_finite(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(1000)
+        edges = quantile_bin_edges(x, 20)
+        codes = discretize_numerical(x, edges, missing_bin=20)
+        assert codes.min() >= 0
+        assert codes.max() <= 19
+
+    @given(st.integers(min_value=2, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_every_bin_reachable(self, n_bins):
+        x = np.linspace(0, 1, 10 * n_bins)
+        edges = quantile_bin_edges(x, n_bins)
+        codes = discretize_numerical(x, edges, missing_bin=n_bins)
+        assert set(np.unique(codes)) <= set(range(n_bins))
+
+
+class TestBinnedDataset:
+    def make(self, n=50):
+        spec = small_spec_factory(n_records=n)
+        from repro.datasets import generate
+
+        return generate(spec)
+
+    def test_shape_validation(self):
+        ds = self.make()
+        with pytest.raises(ValueError, match="rows"):
+            BinnedDataset(spec=ds.spec, codes=ds.codes[:-1], y=ds.y[:-1])
+
+    def test_label_shape_validation(self):
+        ds = self.make()
+        with pytest.raises(ValueError, match="y has shape"):
+            BinnedDataset(spec=ds.spec, codes=ds.codes, y=ds.y[:-1])
+
+    def test_bin_offsets_monotone_and_total(self):
+        ds = self.make()
+        off = ds.bin_offsets()
+        assert off[0] == 0
+        assert np.all(np.diff(off) > 0)
+        assert off[-1] == ds.spec.n_total_bins
+
+    def test_global_codes_disjoint_ranges(self):
+        ds = self.make()
+        gc = ds.global_codes()
+        off = ds.bin_offsets()
+        for j in range(ds.n_fields):
+            col = gc[:, j]
+            assert col.min() >= off[j]
+            assert col.max() < off[j + 1]
+
+    def test_validate_codes_passes_on_generated(self):
+        self.make().validate_codes()  # must not raise
+
+    def test_validate_codes_catches_overflow(self):
+        ds = self.make()
+        bad = ds.codes.copy()
+        bad[0, 0] = ds.spec.fields[0].n_total_bins  # one past the missing bin
+        with pytest.raises(ValueError, match="out of range"):
+            BinnedDataset(spec=ds.spec, codes=bad, y=ds.y).validate_codes()
+
+    def test_subset_preserves_alignment(self):
+        ds = self.make(60)
+        idx = np.array([3, 10, 11, 59])
+        sub = ds.subset(idx)
+        assert sub.n_records == 4
+        assert np.array_equal(sub.codes, ds.codes[idx])
+        assert np.array_equal(sub.y, ds.y[idx])
+
+    def test_field_bin_counts_match_spec(self):
+        ds = self.make()
+        expected = [f.n_total_bins for f in ds.spec.fields]
+        assert ds.field_bin_counts().tolist() == expected
+
+
+class TestSmallestCodeDtype:
+    def test_uint8_for_256_bins(self):
+        spec = small_spec_factory(n_bins=200)
+        assert smallest_code_dtype(spec) == np.uint8
+
+    def test_uint16_for_large_categorical(self):
+        from repro.datasets import FieldKind, FieldSpec, DatasetSpec
+
+        spec = DatasetSpec(
+            name="big",
+            fields=(
+                FieldSpec(name="c", kind=FieldKind.CATEGORICAL, n_categories=5000),
+            ),
+            n_records=10,
+        )
+        assert smallest_code_dtype(spec) == np.uint16

@@ -1,0 +1,75 @@
+"""Tests for irregularity instrumentation (repro.gbdt.instrument)."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt import max_run_lengths, path_length_cv, warp_conflict_factor
+
+
+class TestMaxRunLengths:
+    def test_all_equal_row(self):
+        rows = np.array([[3, 3, 3, 3]])
+        assert max_run_lengths(rows).tolist() == [4]
+
+    def test_all_distinct_row(self):
+        rows = np.array([[1, 2, 3, 4]])
+        assert max_run_lengths(rows).tolist() == [1]
+
+    def test_mixed_rows(self):
+        rows = np.array([[1, 1, 2, 3], [0, 1, 1, 1]])
+        assert max_run_lengths(rows).tolist() == [2, 3]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            max_run_lengths(np.array([1, 2, 3]))
+
+    def test_empty_width(self):
+        assert max_run_lengths(np.zeros((3, 0), dtype=int)).tolist() == [0, 0, 0]
+
+
+class TestWarpConflictFactor:
+    def test_uniform_wide_bins_near_one(self, rng):
+        codes = rng.integers(0, 10_000, size=(2048, 4))
+        f = warp_conflict_factor(codes, warp=32)
+        assert 1.0 <= f < 1.3
+
+    def test_single_bin_equals_warp(self):
+        codes = np.zeros((2048, 2), dtype=np.int64)
+        assert warp_conflict_factor(codes, warp=32) == pytest.approx(32.0)
+
+    def test_skew_increases_conflicts(self, rng):
+        uniform = rng.integers(0, 256, size=(2048, 1))
+        skewed = np.where(rng.random((2048, 1)) < 0.8, 0, uniform)
+        assert warp_conflict_factor(skewed) > warp_conflict_factor(uniform)
+
+    def test_small_sample_returns_one(self):
+        codes = np.zeros((10, 3), dtype=np.int64)
+        assert warp_conflict_factor(codes, warp=32) == 1.0
+
+    def test_rejects_bad_warp(self, rng):
+        with pytest.raises(ValueError):
+            warp_conflict_factor(rng.integers(0, 4, size=(64, 2)), warp=0)
+
+    def test_benchmark_ordering(self):
+        # Categorical benchmarks must show more conflicts than numerical ones
+        # (the Sec. II-D GPU argument).
+        from repro.datasets import load
+
+        flight = load("flight", n_records=2048)
+        higgs = load("higgs", n_records=2048)
+        assert warp_conflict_factor(flight.codes) > 2 * warp_conflict_factor(higgs.codes)
+
+
+class TestPathLengthCV:
+    def test_constant_paths_zero(self):
+        assert path_length_cv(np.full(100, 6.0)) == 0.0
+
+    def test_empty(self):
+        assert path_length_cv(np.array([])) == 0.0
+
+    def test_zero_mean(self):
+        assert path_length_cv(np.zeros(5)) == 0.0
+
+    def test_known_value(self):
+        x = np.array([2.0, 4.0])
+        assert path_length_cv(x) == pytest.approx(1.0 / 3.0)

@@ -1,0 +1,130 @@
+"""Tests for loss functions and gradient statistics (repro.gbdt.losses)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import TaskKind
+from repro.gbdt import LogisticLoss, SquaredErrorLoss, loss_for_task
+
+
+def numeric_gradients(loss, margin, y, eps=1e-5):
+    """Central-difference g and h for verification."""
+    g = np.empty_like(margin)
+    h = np.empty_like(margin)
+    for i in range(len(margin)):
+        up = margin.copy()
+        dn = margin.copy()
+        up[i] += eps
+        dn[i] -= eps
+        lu = loss.value(up, y) * len(y)
+        ld = loss.value(dn, y) * len(y)
+        l0 = loss.value(margin, y) * len(y)
+        g[i] = (lu - ld) / (2 * eps)
+        h[i] = (lu - 2 * l0 + ld) / (eps * eps)
+    return g, h
+
+
+class TestSquaredError:
+    def test_gradients_closed_form(self):
+        loss = SquaredErrorLoss()
+        margin = np.array([0.0, 1.0, -2.0])
+        y = np.array([1.0, 1.0, 1.0])
+        g, h = loss.gradients(margin, y)
+        assert np.allclose(g, margin - y)
+        assert np.allclose(h, 1.0)
+
+    def test_gradients_match_numeric(self, rng):
+        loss = SquaredErrorLoss()
+        margin = rng.standard_normal(8)
+        y = rng.standard_normal(8)
+        g, h = loss.gradients(margin, y)
+        gn, hn = numeric_gradients(loss, margin, y)
+        assert np.allclose(g, gn, atol=1e-4)
+        assert np.allclose(h, hn, atol=1e-3)
+
+    def test_base_margin_is_mean(self):
+        loss = SquaredErrorLoss()
+        y = np.array([1.0, 3.0, 5.0])
+        assert loss.base_margin(y) == pytest.approx(3.0)
+
+    def test_value_zero_at_perfect_fit(self):
+        loss = SquaredErrorLoss()
+        y = np.array([1.0, 2.0])
+        assert loss.value(y, y) == 0.0
+
+    def test_empty_inputs(self):
+        loss = SquaredErrorLoss()
+        assert loss.base_margin(np.array([])) == 0.0
+        assert loss.value(np.array([]), np.array([])) == 0.0
+
+
+class TestLogistic:
+    def test_gradients_closed_form(self):
+        loss = LogisticLoss()
+        margin = np.array([0.0])
+        y = np.array([1.0])
+        g, h = loss.gradients(margin, y)
+        assert g[0] == pytest.approx(-0.5)
+        assert h[0] == pytest.approx(0.25)
+
+    def test_gradients_match_numeric(self, rng):
+        loss = LogisticLoss()
+        margin = rng.standard_normal(8) * 2
+        y = (rng.random(8) > 0.5).astype(float)
+        g, h = loss.gradients(margin, y)
+        gn, hn = numeric_gradients(loss, margin, y)
+        assert np.allclose(g, gn, atol=1e-4)
+        assert np.allclose(h, hn, atol=1e-3)
+
+    def test_hessian_positive(self, rng):
+        loss = LogisticLoss()
+        margin = rng.standard_normal(100) * 30  # extreme margins
+        y = (rng.random(100) > 0.5).astype(float)
+        _, h = loss.gradients(margin, y)
+        assert np.all(h > 0)
+
+    def test_numerically_stable_at_extremes(self):
+        loss = LogisticLoss()
+        margin = np.array([1000.0, -1000.0])
+        y = np.array([1.0, 0.0])
+        g, h = loss.gradients(margin, y)
+        assert np.all(np.isfinite(g))
+        assert np.all(np.isfinite(h))
+        assert np.isfinite(loss.value(margin, y))
+
+    def test_base_margin_log_odds(self):
+        loss = LogisticLoss()
+        y = np.array([1.0, 1.0, 1.0, 0.0])
+        assert loss.base_margin(y) == pytest.approx(np.log(0.75 / 0.25))
+
+    def test_predict_transform_is_probability(self, rng):
+        loss = LogisticLoss()
+        p = loss.predict_transform(rng.standard_normal(100) * 5)
+        assert np.all((p > 0) & (p < 1))
+
+    def test_sigmoid_symmetry(self):
+        loss = LogisticLoss()
+        x = np.array([-3.0, -1.0, 0.0, 1.0, 3.0])
+        s = loss.predict_transform(x)
+        assert np.allclose(s + loss.predict_transform(-x), 1.0)
+
+    @given(st.floats(min_value=-30, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_g_bounded_by_one(self, m):
+        loss = LogisticLoss()
+        g, h = loss.gradients(np.array([m]), np.array([1.0]))
+        assert -1.0 <= g[0] <= 1.0
+        assert 0.0 < h[0] <= 0.25 + 1e-12
+
+
+class TestLossForTask:
+    def test_binary_gets_logistic(self):
+        assert isinstance(loss_for_task(TaskKind.BINARY), LogisticLoss)
+
+    def test_regression_gets_squared(self):
+        assert isinstance(loss_for_task(TaskKind.REGRESSION), SquaredErrorLoss)
+
+    def test_ranking_trained_pointwise(self):
+        assert isinstance(loss_for_task(TaskKind.RANKING), SquaredErrorLoss)

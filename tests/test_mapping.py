@@ -1,0 +1,142 @@
+"""Tests for bin-to-SRAM mappings (repro.core.mapping) -- the Fig. 9 mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoosterConfig, group_by_field_mapping, naive_packing_mapping
+from repro.datasets import DatasetSpec, FieldKind, FieldSpec, dataset_spec, make_numerical_fields
+
+CFG = BoosterConfig()  # 50 x 64 = 3200 BUs, 2 KB SRAM (256 bins at 8 B)
+
+
+def spec_of(fields):
+    return DatasetSpec(name="m", fields=tuple(fields), n_records=10)
+
+
+class TestGroupByField:
+    def test_one_sram_per_default_numerical_field(self):
+        spec = spec_of(make_numerical_fields(28))  # higgs shape: 256 bins each
+        m = group_by_field_mapping(spec, CFG)
+        assert m.srams_per_copy == 28
+        assert m.serialization == 1.0
+        assert m.replicas == 3200 // 28
+        assert m.field_passes == 1
+
+    def test_oversized_field_groups_srams(self):
+        big = FieldSpec(name="c", kind=FieldKind.CATEGORICAL, n_categories=1500)
+        m = group_by_field_mapping(spec_of([big]), CFG)
+        assert m.srams_per_copy == -(-1501 // 256)  # 6 SRAMs (extension 3)
+        assert m.serialization == 1.0  # repeated-bin trick: 1 update lands in 1
+
+    def test_oversized_field_load_split(self):
+        big = FieldSpec(name="c", kind=FieldKind.CATEGORICAL, n_categories=1500)
+        m = group_by_field_mapping(spec_of([big]), CFG)
+        assert np.allclose(m.sram_load, 1.0 / 6.0)
+
+    def test_more_fields_than_bus_partitions(self):
+        tiny_cfg = BoosterConfig(n_clusters=1, bus_per_cluster=8)
+        spec = spec_of(make_numerical_fields(20))
+        m = group_by_field_mapping(spec, tiny_cfg)
+        assert m.replicas == 1
+        assert m.field_passes == -(-20 // 8)  # extension (1)
+
+    def test_utilization_high_for_full_fields(self):
+        spec = spec_of(make_numerical_fields(10))  # 256-bin fields fill SRAMs
+        m = group_by_field_mapping(spec, CFG)
+        assert m.utilization == pytest.approx(1.0)
+
+    def test_paper_utilization_claim(self):
+        # Sec. III-C: "our results show 89% capacity utilization" -- our five
+        # benchmarks averaged must be in that neighbourhood.
+        from repro.datasets import BENCHMARK_NAMES
+
+        utils = []
+        for name in BENCHMARK_NAMES:
+            m = group_by_field_mapping(dataset_spec(name), CFG)
+            utils.append(m.utilization)
+        assert 0.75 < float(np.mean(utils)) <= 1.0
+
+    def test_throughput_rate_matches_paper_design_point(self):
+        # 64 one-byte fields -> one cluster per record, 50 records in flight,
+        # 8-cycle occupancy: 6.25 records/cycle, the Sec. III-B rate match.
+        spec = spec_of(make_numerical_fields(64))
+        m = group_by_field_mapping(spec, CFG)
+        assert m.throughput_records_per_cycle(8) == pytest.approx(6.25)
+
+
+class TestNaivePacking:
+    def test_equals_group_by_field_for_numerical(self):
+        # Paper Sec. V-C: "For benchmarks without a single categorical field,
+        # naive packing achieves the same effect."
+        spec = spec_of(make_numerical_fields(28))
+        g = group_by_field_mapping(spec, CFG)
+        n = naive_packing_mapping(spec, CFG)
+        assert n.srams_per_copy == g.srams_per_copy
+        assert n.serialization == pytest.approx(1.0)
+
+    def test_small_fields_share_sram_and_serialize(self):
+        fields = [
+            FieldSpec(name=f"c{i}", kind=FieldKind.CATEGORICAL, n_categories=30)
+            for i in range(8)
+        ]  # 31 bins each; 8 fields pack into one 256-entry SRAM
+        m = naive_packing_mapping(spec_of(fields), CFG)
+        assert m.srams_per_copy == 1
+        assert m.serialization == pytest.approx(8.0)
+
+    def test_serialization_at_least_one(self):
+        for name in ("iot", "higgs", "allstate", "mq2008", "flight"):
+            m = naive_packing_mapping(dataset_spec(name), CFG)
+            assert m.serialization >= 1.0 - 1e-9
+
+    def test_load_sums_to_field_count(self):
+        spec = dataset_spec("flight")
+        m = naive_packing_mapping(spec, CFG)
+        assert m.sram_load.sum() == pytest.approx(spec.n_fields)
+
+    def test_categorical_benchmarks_serialize_more(self):
+        # The Fig. 9 story: group-by-field only wins on categorical data.
+        for name in ("allstate", "flight"):
+            m = naive_packing_mapping(dataset_spec(name), CFG)
+            assert m.serialization > 1.5
+        for name in ("higgs", "mq2008"):
+            m = naive_packing_mapping(dataset_spec(name), CFG)
+            assert m.serialization == pytest.approx(1.0)
+
+    def test_naive_throughput_never_beats_grouped(self):
+        for name in ("iot", "higgs", "allstate", "mq2008", "flight"):
+            spec = dataset_spec(name)
+            g = group_by_field_mapping(spec, CFG)
+            n = naive_packing_mapping(spec, CFG)
+            assert n.throughput_records_per_cycle(8) <= g.throughput_records_per_cycle(8) * 1.0001
+
+    def test_naive_packs_denser(self):
+        # Capacity-greedy packing never uses more SRAMs than group-by-field.
+        for name in ("iot", "allstate", "flight"):
+            spec = dataset_spec(name)
+            g = group_by_field_mapping(spec, CFG)
+            n = naive_packing_mapping(spec, CFG)
+            assert n.srams_per_copy <= g.srams_per_copy
+
+
+class TestBenchmarkMappings:
+    @pytest.mark.parametrize(
+        "name,srams",
+        [("iot", 115), ("higgs", 28), ("mq2008", 46)],
+    )
+    def test_numerical_benchmarks_one_sram_per_field(self, name, srams):
+        m = group_by_field_mapping(dataset_spec(name), CFG)
+        assert m.srams_per_copy == srams
+
+    def test_allstate_srams(self):
+        # 16 numerical (1 each) + categorical ceil((cards+1)/256) each.
+        spec = dataset_spec("allstate")
+        m = group_by_field_mapping(spec, CFG)
+        expected = 16 + sum(
+            -(-(f.n_categories + 1) // 256) for f in spec.fields if f.is_categorical
+        )
+        assert m.srams_per_copy == expected
+
+    def test_replicas_times_srams_fits_chip(self):
+        for name in ("iot", "higgs", "allstate", "mq2008", "flight"):
+            m = group_by_field_mapping(dataset_spec(name), CFG)
+            assert m.replicas * m.srams_per_copy <= CFG.n_bus

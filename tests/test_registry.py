@@ -1,0 +1,98 @@
+"""Tests for the benchmark registry (Table III structure)."""
+
+import pytest
+
+from repro.datasets import (
+    BENCHMARK_NAMES,
+    dataset_spec,
+    load,
+    paper_records,
+    table3_rows,
+)
+
+#: Table III structural ground truth: (fields, categorical fields, features).
+TABLE3 = {
+    "iot": (115, 0, 115),
+    "higgs": (28, 0, 28),
+    "allstate": (32, 16, 4232),
+    "mq2008": (46, 0, 46),
+    "flight": (8, 7, 666),
+}
+
+PAPER_RECORDS = {
+    "iot": 7_000_000,
+    "higgs": 10_000_000,
+    "allstate": 10_000_000,
+    "mq2008": 1_000_000,
+    "flight": 10_000_000,
+}
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_table3_structure_exact(name):
+    spec = dataset_spec(name)
+    fields, cats, feats = TABLE3[name]
+    assert spec.n_fields == fields
+    assert spec.n_categorical_fields == cats
+    assert spec.n_features == feats
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_paper_record_counts(name):
+    assert paper_records(name) == PAPER_RECORDS[name]
+    assert dataset_spec(name).paper_records == PAPER_RECORDS[name]
+
+
+def test_default_scale_is_thousandth():
+    spec = dataset_spec("higgs")
+    assert spec.n_records == 10_000
+
+
+def test_scale_override():
+    assert dataset_spec("higgs", scale=1e-4).n_records == 1000
+
+
+def test_records_override():
+    assert dataset_spec("iot", n_records=1234).n_records == 1234
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        dataset_spec("mnist")
+
+
+def test_load_returns_valid_binned(tmp_path):
+    ds = load("flight", n_records=500)
+    ds.validate_codes()
+    assert ds.n_records == 500
+
+
+def test_table3_rows_complete():
+    rows = table3_rows()
+    assert [r["name"] for r in rows] == list(BENCHMARK_NAMES)
+    for r in rows:
+        assert r["features_onehot"] == TABLE3[r["name"]][2]
+        assert r["paper_seq_minutes"] > 0
+
+
+def test_iot_has_dominant_fields():
+    spec = dataset_spec("iot")
+    weights = sorted((f.target_weight for f in spec.fields), reverse=True)
+    assert weights[0] >= 3.0  # dominant step fields -> shallow trees
+    assert weights[3] == 0.0  # the rest is noise
+
+
+def test_allstate_categorical_cardinalities_sum():
+    spec = dataset_spec("allstate")
+    total = sum(f.n_categories for f in spec.fields if f.is_categorical)
+    assert total + spec.n_numerical_fields == 4232
+
+
+def test_flight_categorical_cardinalities_sum():
+    spec = dataset_spec("flight")
+    total = sum(f.n_categories for f in spec.fields if f.is_categorical)
+    assert total + spec.n_numerical_fields == 666
+
+
+def test_specs_deterministic():
+    assert dataset_spec("mq2008") == dataset_spec("mq2008")

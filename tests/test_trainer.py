@@ -1,0 +1,139 @@
+"""Tests for the instrumented GBDT trainer (repro.gbdt.trainer)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TaskKind, generate
+from repro.gbdt import GBDTTrainer, TrainParams, train
+from tests.conftest import small_spec_factory
+
+
+class TestTrainingInvariants:
+    def test_loss_monotonically_decreases(self, trained):
+        losses = trained.losses
+        assert np.all(np.diff(losses) <= 1e-12)
+
+    def test_tree_count(self, trained):
+        assert len(trained.trees) == 6
+        assert trained.profile.n_trees == 6
+
+    def test_trees_validate(self, trained):
+        for t in trained.trees:
+            t.validate()
+
+    def test_depth_limit_respected(self, trained):
+        for t in trained.trees:
+            assert t.max_depth <= trained.params.max_depth
+
+    def test_predictions_improve_over_base(self, trained, small_data):
+        p = trained.predict(small_data.codes)
+        acc = np.mean((p > 0.5) == (small_data.y > 0.5))
+        assert acc > 0.8  # separable synthetic data must be learnable
+
+    def test_deterministic(self, small_data):
+        a = train(small_data, TrainParams(n_trees=2))
+        b = train(small_data, TrainParams(n_trees=2))
+        assert np.allclose(a.losses, b.losses)
+        assert a.profile.binned_records() == b.profile.binned_records()
+
+    def test_regression_task(self):
+        data = generate(small_spec_factory(task=TaskKind.REGRESSION, n_records=500))
+        res = train(data, TrainParams(n_trees=3))
+        assert np.all(np.diff(res.losses) <= 1e-12)
+        # Margin predictions should correlate strongly with targets.
+        pred = res.predict(data.codes)
+        assert np.corrcoef(pred, data.y)[0, 1] > 0.7
+
+
+class TestWorkAccounting:
+    def test_root_binned_every_tree(self, trained, small_data):
+        n = small_data.n_records
+        for tw in trained.profile.trees:
+            root_mask = tw.depth == 0
+            assert tw.n_reach[root_mask][0] == n
+            assert tw.n_binned[root_mask][0] == n  # root is always binned
+
+    def test_children_reach_sums_to_parent_partition(self, trained, small_data):
+        # Conservation: records reaching depth d+1 == records partitioned at d.
+        for tw in trained.profile.trees:
+            for d in range(tw.max_depth):
+                partitioned = tw.n_reach[(tw.depth == d) & tw.is_split].sum()
+                reached_next = tw.n_reach[tw.depth == d + 1].sum()
+                assert partitioned == reached_next
+
+    def test_subtraction_trick_bins_smaller_child(self, trained):
+        # Explicit binning below the root must be at most half the records
+        # partitioned at the parent level (only the smaller child binned).
+        for tw in trained.profile.trees:
+            for d in range(1, tw.max_depth + 1):
+                level = tw.depth == d
+                binned = tw.n_binned[level].sum()
+                parent_part = tw.n_reach[(tw.depth == d - 1) & tw.is_split].sum()
+                assert binned <= parent_part / 2 + 1e-9
+
+    def test_max_depth_nodes_never_binned(self, trained):
+        for tw in trained.profile.trees:
+            deepest = tw.depth == 6
+            if deepest.any():
+                assert tw.n_binned[deepest].sum() == 0
+
+    def test_split_evaluations_subset_of_nodes(self, trained):
+        p = trained.profile
+        total_nodes = sum(t.n_nodes for t in p.trees)
+        assert 0 < p.step2_evaluations() <= total_nodes
+
+    def test_split_fields_valid(self, trained, small_data):
+        for tw in trained.profile.trees:
+            used = tw.split_field[tw.is_split]
+            assert np.all(used >= 0)
+            assert np.all(used < small_data.n_fields)
+            assert np.all(tw.split_field[~tw.is_split] == -1)
+
+    def test_traversal_hops_match_tree_predictions(self, trained, small_data):
+        for tree, tw in zip(trained.trees, trained.profile.trees):
+            _, depths = tree.predict(small_data.codes, return_depth=True)
+            assert tw.sum_path_len == pytest.approx(depths.sum())
+            assert tw.max_path_len == depths.max()
+
+    def test_relevant_fields_match_trees(self, trained):
+        for tree, tw in zip(trained.trees, trained.profile.trees):
+            assert np.array_equal(tw.relevant_fields, tree.relevant_fields())
+
+    def test_root_bin_counts_recorded(self, trained, small_data):
+        counts = trained.profile.root_bin_counts
+        assert counts is not None
+        assert counts.shape == (small_data.spec.n_total_bins,)
+        # Density property at the root: fields x records total updates.
+        assert counts.sum() == pytest.approx(
+            small_data.n_records * small_data.n_fields
+        )
+
+    def test_smaller_child_fraction_bounded(self, trained):
+        frac = trained.profile.smaller_child_fraction_mean
+        assert 0.0 < frac <= 0.5
+
+    def test_wall_time_recorded(self, trained):
+        assert trained.profile.train_seconds_wall > 0
+
+
+class TestParams:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TrainParams(n_trees=0)
+        with pytest.raises(ValueError):
+            TrainParams(max_depth=0)
+        with pytest.raises(ValueError):
+            TrainParams(learning_rate=0.0)
+
+    def test_max_depth_one_gives_stumps(self, small_data):
+        res = train(small_data, TrainParams(n_trees=2, max_depth=1))
+        for t in res.trees:
+            assert t.max_depth <= 1
+            assert t.n_nodes <= 3
+
+    def test_predict_margin_consistency(self, trained, small_data):
+        margin = trained.predict_margin(small_data.codes)
+        manual = np.full(small_data.n_records, trained.base_margin)
+        for t in trained.trees:
+            manual += t.predict(small_data.codes)
+        assert np.allclose(margin, manual)

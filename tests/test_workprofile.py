@@ -1,0 +1,156 @@
+"""Tests for work profiles and their extrapolation (repro.gbdt.workprofile)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import RecordLayout
+from repro.gbdt import EnsemblePredictor
+
+
+class TestAggregates:
+    def test_binned_record_fields(self, trained, small_data):
+        p = trained.profile
+        assert p.binned_record_fields() == p.binned_records() * small_data.n_fields
+
+    def test_step2_bin_scans(self, trained):
+        p = trained.profile
+        assert p.step2_bin_scans() == p.step2_evaluations() * p.n_total_bins
+
+    def test_partition_records_positive(self, trained):
+        assert trained.profile.partition_records() > 0
+
+    def test_traversal_totals(self, trained, small_data):
+        p = trained.profile
+        assert p.traversal_records() == small_data.n_records * p.n_trees
+        assert 0 < p.traversal_hops() <= p.traversal_records() * 6
+
+    def test_summary_keys(self, trained):
+        s = trained.profile.summary()
+        for key in ("dataset", "records", "trees", "binned_records", "warp_conflict_factor"):
+            assert key in s
+
+
+class TestBytes:
+    def test_step1_bytes_positive_and_block_aligned_scale(self, trained):
+        p = trained.profile
+        layout = RecordLayout(p.spec)
+        b = p.step1_bytes(layout)
+        # At least one block per binned record batch; at most a generous bound.
+        assert b > p.binned_records()  # > 1 byte per record for sure
+        assert b < p.binned_records() * 64 * 4
+
+    def test_column_format_saves_step3_bytes(self, trained):
+        p = trained.profile
+        layout = RecordLayout(p.spec)
+        assert p.step3_bytes(layout, column_format=True) < p.step3_bytes(
+            layout, column_format=False
+        )
+
+    def test_column_format_saves_step5_bytes_wide_records(self):
+        # The redundant format's step-5 saving needs records wider than the
+        # tree's relevant-field set -- e.g. IoT's 115 fields vs <=63 used.
+        from repro.datasets import generate
+        from repro.gbdt import TrainParams, train
+        from tests.conftest import small_spec_factory
+
+        spec = small_spec_factory(n_records=400, n_numerical=40, n_categorical=0)
+        res = train(generate(spec), TrainParams(n_trees=2, max_depth=3))
+        p = res.profile
+        layout = RecordLayout(p.spec)
+        col = p.step5_bytes(layout, column_format=True)
+        row = p.step5_bytes(layout, column_format=False)
+        assert col < row
+
+    def test_column_format_step5_narrow_records_comparable(self, trained):
+        # With 8-byte records (all fields relevant) the column copy saves
+        # nothing; block rounding may even cost a little.  Flight behaves
+        # this way, which is part of why its Fig. 7 speedup is the lowest.
+        p = trained.profile
+        layout = RecordLayout(p.spec)
+        col = p.step5_bytes(layout, column_format=True)
+        row = p.step5_bytes(layout, column_format=False)
+        assert col <= row * 1.25
+
+    def test_step5_grows_with_trees(self, trained):
+        p = trained.profile
+        layout = RecordLayout(p.spec)
+        doubled = p.with_trees_scaled(p.n_trees * 2)
+        assert doubled.step5_bytes(layout, True) == pytest.approx(
+            2 * p.step5_bytes(layout, True), rel=0.01
+        )
+
+
+class TestScaling:
+    def test_scaled_record_counts(self, trained):
+        p = trained.profile
+        big = p.scaled(10)
+        assert big.n_records == p.n_records * 10
+        assert big.binned_records() == pytest.approx(10 * p.binned_records(), rel=1e-6)
+        assert big.traversal_hops() == pytest.approx(10 * p.traversal_hops())
+
+    def test_scaled_preserves_structure(self, trained):
+        p = trained.profile
+        big = p.scaled(10)
+        assert big.n_trees == p.n_trees
+        assert big.step2_evaluations() == p.step2_evaluations()
+        assert big.n_total_bins == p.n_total_bins
+        assert big.warp_conflict_factor == p.warp_conflict_factor
+
+    def test_scaled_rejects_nonpositive(self, trained):
+        with pytest.raises(ValueError):
+            trained.profile.scaled(0)
+
+    def test_tree_replication(self, trained):
+        p = trained.profile
+        big = p.with_trees_scaled(25)
+        assert big.n_trees == 25
+        assert big.binned_records() == pytest.approx(
+            p.binned_records() * 25 / p.n_trees, rel=0.3
+        )
+
+    def test_tree_replication_keeps_counts(self, trained):
+        p = trained.profile
+        same = p.with_trees_scaled(p.n_trees)
+        assert same.binned_records() == p.binned_records()
+
+
+class TestHotAccessFraction:
+    def test_full_cache_hits_everything(self, trained):
+        p = trained.profile
+        assert p.hot_access_fraction(p.n_total_bins) == 1.0
+
+    def test_zero_cache_hits_nothing(self, trained):
+        assert trained.profile.hot_access_fraction(0) == 0.0
+
+    def test_monotone_in_cache_size(self, trained):
+        p = trained.profile
+        fracs = [p.hot_access_fraction(k) for k in (1, 8, 64, 512, p.n_total_bins)]
+        assert fracs == sorted(fracs)
+
+    def test_fallback_without_counts(self, trained):
+        p = trained.profile
+        stripped = p.scaled(1.0)
+        stripped.root_bin_counts = None
+        assert stripped.hot_access_fraction(10) == pytest.approx(10 / p.n_total_bins)
+
+
+class TestInferenceWork:
+    def test_padded_vs_actual_hops(self, trained, small_data):
+        pred = EnsemblePredictor(trained.trees, trained.base_margin, trained.loss)
+        work = pred.inference_work(small_data)
+        assert work.total_hops_padded >= work.total_hops_actual
+
+    def test_tree_target_scaling(self, trained, small_data):
+        pred = EnsemblePredictor(trained.trees, trained.base_margin, trained.loss)
+        w1 = pred.inference_work(small_data)
+        w2 = pred.inference_work(small_data, n_trees_target=w1.n_trees * 10)
+        assert w2.sum_path_len == pytest.approx(10 * w1.sum_path_len)
+        assert w2.mean_path_len == pytest.approx(w1.mean_path_len)
+
+    def test_predict_matches_train_result(self, trained, small_data):
+        pred = EnsemblePredictor(trained.trees, trained.base_margin, trained.loss)
+        assert np.allclose(pred.predict(small_data.codes), trained.predict(small_data.codes))
+
+    def test_empty_ensemble_rejected(self, trained):
+        with pytest.raises(ValueError):
+            EnsemblePredictor([], 0.0, trained.loss)
