@@ -20,7 +20,7 @@ def test_ablation_bu_count(benchmark, executor, emit):
         rows = []
         for clusters in (2, 5, 10, 25, 50, 100, 200):
             cfg = BoosterConfig(n_clusters=clusters)
-            engine = BoosterEngine(config=cfg, bandwidth=executor._bandwidth)
+            engine = BoosterEngine(config=cfg, bandwidth=executor.bandwidth)
             total = engine.training_times(prof).total
             budget = area_model.estimate(n_bus=cfg.n_bus, n_clusters=clusters)
             rows.append(
@@ -62,7 +62,7 @@ def test_ablation_sram_size(benchmark, executor, emit):
         rows = []
         for sram in (512, 1024, 2048, 4096, 8192):
             cfg = BoosterConfig(sram_bytes=sram)
-            engine = BoosterEngine(config=cfg, bandwidth=executor._bandwidth)
+            engine = BoosterEngine(config=cfg, bandwidth=executor.bandwidth)
             mapping = engine.bin_mapping(prof)
             total = engine.training_times(prof).total
             budget = area_model.estimate(sram_bytes=sram)

@@ -13,6 +13,8 @@ import pathlib
 
 import pytest
 
+from repro.experiments import ScenarioSpec
+from repro.gbdt import TrainParams
 from repro.sim import Executor
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
@@ -21,10 +23,14 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 #: ratios are stable (tests assert the same shapes at 6 rounds).
 BENCH_TREES = 10
 
+#: The suite's experiment configuration, declared once; training artifacts
+#: are served from the persistent cache across sessions.
+BENCH_SCENARIO = ScenarioSpec(train=TrainParams(n_trees=BENCH_TREES))
+
 
 @pytest.fixture(scope="session")
 def executor():
-    return Executor(sim_trees=BENCH_TREES)
+    return Executor.from_scenario(BENCH_SCENARIO)
 
 
 @pytest.fixture(scope="session")

@@ -17,13 +17,16 @@ import sys
 
 from repro.core import BoosterConfig, BoosterEngine
 from repro.energy import AreaPowerModel
+from repro.experiments import ScenarioSpec
+from repro.gbdt import TrainParams
 from repro.sim import Executor
 from repro.sim.report import render_table
 
 
 def main() -> None:
     dataset = sys.argv[1] if len(sys.argv) > 1 else "higgs"
-    executor = Executor(sim_trees=10)
+    scenario = ScenarioSpec(dataset=dataset, train=TrainParams(n_trees=10))
+    executor = Executor.from_scenario(scenario)
     profile = executor.profile(dataset)
     baseline = executor.model("ideal-32-core").training_seconds(profile)
     area_model = AreaPowerModel()
@@ -33,7 +36,7 @@ def main() -> None:
     for clusters in (5, 10, 25, 50, 100):
         for sram_kb in (1, 2, 4):
             cfg = BoosterConfig(n_clusters=clusters, sram_bytes=sram_kb * 1024)
-            engine = BoosterEngine(config=cfg, bandwidth=executor._bandwidth)
+            engine = BoosterEngine(config=cfg, bandwidth=executor.bandwidth)
             mapping = engine.bin_mapping(profile)
             seconds = engine.training_times(profile).total
             speedup = baseline / seconds

@@ -12,12 +12,14 @@ Usage::
 """
 
 from repro.core import BoosterConfig, BoosterEngine
+from repro.experiments import ScenarioSpec
+from repro.gbdt import TrainParams
 from repro.sim import Executor, geomean
 from repro.sim.report import render_table
 
 
 def main() -> None:
-    executor = Executor(sim_trees=10)
+    executor = Executor.from_scenario(ScenarioSpec(train=TrainParams(n_trees=10)))
 
     print("== Batch inference: one chip, 500 trees ==\n")
     rows = []
@@ -50,21 +52,16 @@ def main() -> None:
 
     # -- ensembles larger than one chip (Sec. III-D last paragraph) ---------------
     print("\n== Multi-chip round-robin for very large ensembles ==\n")
-    executor2 = Executor(sim_trees=10)
-    result = executor2.train_result("higgs")
-    from repro.datasets import dataset_spec, generate
     from repro.gbdt import EnsemblePredictor
 
-    data = generate(dataset_spec("higgs"))
+    result = executor.train_result("higgs")  # served from the cache: trained above
+    data = executor.dataset("higgs")  # the memoized training dataset, reused
     predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
-    engine = BoosterEngine(config=BoosterConfig(), bandwidth=executor2._bandwidth)
+    engine = BoosterEngine(config=BoosterConfig(), bandwidth=executor.bandwidth)
     rows = []
     for n_trees in (500, 2000, 3200, 6400, 12800):
         work = predictor.inference_work(data, n_trees_target=n_trees)
-        k = work.spec.paper_records / work.n_records
-        work.sum_path_len *= k
-        work.n_records = int(work.n_records * k)
-        work.spec = work.spec.with_records(work.n_records)
+        work = work.scaled(work.spec.paper_records / work.n_records)
         seconds = engine.inference_seconds(work)
         chips = max(1, -(-n_trees // engine.config.n_bus))
         rows.append([n_trees, chips, f"{seconds * 1e3:.1f} ms"])

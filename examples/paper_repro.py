@@ -13,6 +13,8 @@ Usage::
 
 import sys
 
+from repro.experiments import ScenarioSpec
+from repro.gbdt import TrainParams
 from repro.sim.artifacts import ARTIFACTS, build_all
 from repro.sim.executor import Executor
 
@@ -22,7 +24,7 @@ def main() -> None:
     unknown = [w for w in wanted if w not in ARTIFACTS]
     if unknown:
         raise SystemExit(f"unknown artifacts {unknown}; choose from {sorted(ARTIFACTS)}")
-    executor = Executor(sim_trees=10)
+    executor = Executor.from_scenario(ScenarioSpec(train=TrainParams(n_trees=10)))
     print(build_all(executor, wanted))
 
 

@@ -18,6 +18,8 @@ where ``dataset`` is one of: iot, higgs, allstate, mq2008, flight.
 
 import sys
 
+from repro.experiments import ScenarioSpec
+from repro.gbdt import TrainParams
 from repro.sim import Executor
 
 
@@ -25,7 +27,10 @@ def main() -> None:
     dataset = sys.argv[1] if len(sys.argv) > 1 else "higgs"
     print(f"== Booster reproduction quickstart: {dataset} ==\n")
 
-    executor = Executor(sim_trees=10)
+    # Declare the experiment once; the executor facade runs it.  Training is
+    # served from the persistent profile cache on repeat runs.
+    scenario = ScenarioSpec(dataset=dataset, train=TrainParams(n_trees=10))
+    executor = Executor.from_scenario(scenario)
 
     result = executor.train_result(dataset)
     summary = result.profile.summary()

@@ -75,8 +75,42 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"artifacts to render (default: all of {sorted(ARTIFACTS)})",
     )
 
-    p_sweep = sub.add_parser("sweep", parents=[common], help="Booster design-space sweep")
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[common],
+        help="scenario sweep: cartesian axes, parallel workers, persistent cache",
+        description="Without --axis, prints the classic Booster design-space "
+        "table. With one or more --axis NAME=V1,V2,... arguments, expands the "
+        "cartesian product into scenarios and runs them across a process "
+        "pool, serving functional training from the persistent cache "
+        "(results/cache/ or $REPRO_CACHE_DIR).",
+    )
     p_sweep.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
+    p_sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="sweep axis (repeatable); e.g. --axis n_bus=1600,3200 "
+        "--axis dataset=higgs,flight",
+    )
+    p_sweep.add_argument(
+        "--systems",
+        nargs="*",
+        default=None,
+        help="hardware models to time in each scenario",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (default: auto)"
+    )
+    p_sweep.add_argument(
+        "--serial", action="store_true", help="run scenarios in-process, one by one"
+    )
+    p_sweep.add_argument(
+        "--refresh",
+        action="store_true",
+        help="drop cached training artifacts for these scenarios first",
+    )
 
     sub.add_parser(
         "validate", parents=[common], help="run the reproduction claim checklist"
@@ -159,6 +193,92 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.axis:
+        return _cmd_sweep_axes(args)
+    return _cmd_sweep_design_space(args)
+
+
+def _cmd_sweep_axes(args: argparse.Namespace) -> int:
+    """Scenario sweep over declared axes (the experiments layer)."""
+    from .experiments import (
+        ScenarioSpec,
+        SweepRunner,
+        default_cache,
+        expand_axes,
+        parse_axis_specs,
+        read_axis,
+    )
+    from .gbdt import TrainParams
+
+    from .sim.executor import MODEL_NAMES
+
+    try:
+        unknown_systems = [s for s in (args.systems or []) if s not in MODEL_NAMES]
+        if unknown_systems:
+            raise ValueError(
+                f"unknown systems {unknown_systems}; known: {list(MODEL_NAMES)}"
+            )
+        axes = parse_axis_specs(args.axis)
+        base = ScenarioSpec(
+            dataset=args.dataset,
+            seed=args.seed,
+            train=TrainParams(n_trees=args.trees),
+            systems=tuple(args.systems) if args.systems else (),
+        )
+        scenarios = expand_axes(base, axes)
+        for scenario in scenarios:
+            scenario.resolved_records()  # rejects unknown dataset axis values
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+
+    cache = default_cache()
+    if args.refresh:
+        for scenario in scenarios:
+            cache.invalidate(scenario.train_key())
+
+    axis_names = list(axes)
+    print(
+        f"sweep: {len(scenarios)} scenarios over axes "
+        f"{', '.join(axis_names)} (cache: {cache.root})"
+    )
+    runner = SweepRunner(
+        cache=cache, max_workers=args.workers, parallel=not args.serial
+    )
+    ordered: list[list[str] | None] = [None] * len(scenarios)
+    for index, result in runner.run_indexed(scenarios):
+        scenario = result.scenario
+        axis_cells = [str(read_axis(scenario, name)) for name in axis_names]
+        times = result.comparison.systems
+        booster_cell = f"{times['booster'].total:.4g}" if "booster" in times else "-"
+        if "booster" in times and result.comparison.baseline in times:
+            speedup_cell = f"{result.booster_speedup:.2f}x"
+        else:
+            speedup_cell = "-"
+        row = axis_cells + [
+            booster_cell,
+            speedup_cell,
+            "hit" if result.cache_hit else "trained",
+            str(result.worker_pid),
+        ]
+        ordered[index] = row
+        print(
+            f"  done {'x'.join(axis_cells)}: booster {booster_cell} s "
+            f"({speedup_cell}) [{'cache hit' if result.cache_hit else 'trained'}]"
+        )
+    rows = [row for row in ordered if row is not None]
+    print()
+    print(
+        render_table(
+            axis_names + ["booster (s)", "speedup", "training", "pid"],
+            rows,
+            title=f"scenario sweep ({len(rows)} scenarios)",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_design_space(args: argparse.Namespace) -> int:
     from .core import BoosterConfig, BoosterEngine
     from .energy import AreaPowerModel
 
@@ -169,7 +289,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = []
     for clusters in (5, 10, 25, 50, 100):
         cfg = BoosterConfig(n_clusters=clusters)
-        engine = BoosterEngine(config=cfg, bandwidth=ex._bandwidth)
+        engine = BoosterEngine(config=cfg, bandwidth=ex.bandwidth)
         seconds = engine.training_times(profile).total
         budget = area.estimate(n_bus=cfg.n_bus, n_clusters=clusters)
         rows.append(

@@ -211,6 +211,64 @@ class Step1MicroResult:
         return abs(self.total_cycles - self.analytic_cycles) / self.analytic_cycles
 
 
+#: Below this record count the scalar reference loop is used; it is both the
+#: documentation of the admission semantics and the equivalence oracle.
+_ADMIT_VECTOR_MIN = 128
+
+
+def _admit_records_scalar(
+    arrivals: np.ndarray, fill: int, per_record: int, replicas: int
+) -> tuple[int, int]:
+    """Reference admission loop: earliest-free replica, one record at a time."""
+    replica_free = np.zeros(replicas, dtype=np.int64)
+    finish = 0
+    busy = 0
+    for i in range(arrivals.size):
+        r = int(np.argmin(replica_free))
+        start = max(int(arrivals[i]) + fill, int(replica_free[r]))
+        end = start + per_record
+        replica_free[r] = end
+        busy += per_record
+        finish = max(finish, end)
+    return finish, busy
+
+
+def _admit_records_vectorized(
+    arrivals: np.ndarray, fill: int, per_record: int, replicas: int
+) -> tuple[int, int]:
+    """Closed-form admission schedule for non-decreasing arrivals.
+
+    With equal service times and non-decreasing arrivals, earliest-free
+    replica selection degenerates to deterministic round-robin (record ``i``
+    runs on replica ``i % R``): end times are non-decreasing in admission
+    order, so the least-loaded replica is always the least recently assigned
+    one.  Per replica the recurrence ``end_j = max(a_j + fill, end_{j-1}) +
+    p`` unrolls to ``end_j = max_{k<=j}(a_k + fill - k*p) + (j+1)*p``, a
+    running maximum NumPy computes in one pass over ``arrivals`` reshaped by
+    replica.
+    """
+    n = int(arrivals.size)
+    if n == 0:
+        return 0, 0
+    rows = -(-n // replicas)
+    slack = np.full(rows * replicas, np.iinfo(np.int64).min // 2, dtype=np.int64)
+    j = np.repeat(np.arange(rows, dtype=np.int64), replicas)[:n]
+    slack[:n] = arrivals + fill - j * per_record
+    run_max = np.maximum.accumulate(slack.reshape(rows, replicas), axis=0)
+    ends = run_max + (np.arange(rows, dtype=np.int64)[:, None] + 1) * per_record
+    finish = int(ends.reshape(-1)[:n].max())
+    return finish, n * per_record
+
+
+def _admit_records(
+    arrivals: np.ndarray, fill: int, per_record: int, replicas: int
+) -> tuple[int, int]:
+    """(makespan, busy cycles) of admitting ``arrivals`` into the BU replicas."""
+    if arrivals.size < _ADMIT_VECTOR_MIN:
+        return _admit_records_scalar(arrivals, fill, per_record, replicas)
+    return _admit_records_vectorized(arrivals, fill, per_record, replicas)
+
+
 def simulate_step1_micro(
     n_records: int,
     spec,
@@ -251,19 +309,12 @@ def simulate_step1_micro(
     # Compute: replicas admit one record each per (bu_op * serialization).
     fill = BroadcastBus(config, costs.broadcast_fanin).fill_cycles
     per_record = costs.bu_op_cycles * max(mapping.serialization, 1.0) * mapping.field_passes
-    replica_free = np.zeros(mapping.replicas, dtype=np.int64)
     # Record i's data is available once its block has streamed in; approximate
     # arrival as a linear schedule against the measured stream makespan.
     arrivals = np.linspace(0, mem_cycles, n_records, endpoint=False).astype(np.int64)
-    finish = 0
-    busy = 0
-    for i in range(n_records):
-        r = int(np.argmin(replica_free))
-        start = max(int(arrivals[i]) + fill, int(replica_free[r]))
-        end = start + int(round(per_record))
-        replica_free[r] = end
-        busy += int(round(per_record))
-        finish = max(finish, end)
+    finish, busy = _admit_records(
+        arrivals, fill, int(round(per_record)), mapping.replicas
+    )
 
     throughput = mapping.throughput_records_per_cycle(costs.bu_op_cycles)
     analytic = max(mem_cycles, n_records / throughput) + fill

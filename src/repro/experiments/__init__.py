@@ -1,0 +1,54 @@
+"""Declarative experiment orchestration: scenarios, sweeps, persistent cache.
+
+This layer makes one experiment -- a (dataset x training params x hardware
+design point x scale x systems) tuple -- a first-class object:
+
+* :class:`ScenarioSpec` -- frozen, hashable, JSON-serializable description of
+  one experiment with a content-derived cache key;
+* :class:`ProfileCache` -- persistent on-disk store (``results/cache/`` by
+  default) for trained :class:`~repro.gbdt.trainer.TrainResult` artifacts,
+  keyed by the scenario's training hash, so no configuration is ever
+  functionally retrained across sessions;
+* :class:`SweepRunner` -- cartesian-product sweep expansion over scenario
+  axes, executed across a :mod:`concurrent.futures` process pool with
+  results streamed as they complete.
+
+The classic :class:`repro.sim.Executor` is a thin facade over this layer;
+see ``docs/experiments.md`` for the full tour.
+"""
+
+from .cache import CACHE_VERSION, ProfileCache, default_cache, default_cache_dir
+from .pipeline import benchmark_dataset, clear_memory_caches, is_trained, train_scenario
+from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, cost_overrides_from
+from .runner import (
+    AXIS_NAMES,
+    SweepResult,
+    SweepRunner,
+    apply_axis,
+    expand_axes,
+    parse_axis_specs,
+    read_axis,
+    run_scenario,
+)
+
+__all__ = [
+    "AXIS_NAMES",
+    "CACHE_VERSION",
+    "DEFAULT_SYSTEMS",
+    "ProfileCache",
+    "ScenarioSpec",
+    "SweepResult",
+    "SweepRunner",
+    "apply_axis",
+    "benchmark_dataset",
+    "clear_memory_caches",
+    "cost_overrides_from",
+    "default_cache",
+    "default_cache_dir",
+    "expand_axes",
+    "is_trained",
+    "parse_axis_specs",
+    "read_axis",
+    "run_scenario",
+    "train_scenario",
+]

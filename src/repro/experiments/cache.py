@@ -1,0 +1,164 @@
+"""Persistent artifact cache for trained profiles.
+
+Trained :class:`~repro.gbdt.trainer.TrainResult` objects (the expensive,
+functional half of every experiment) are stored on disk under a
+content-derived key (:meth:`ScenarioSpec.train_key`), so a configuration is
+functionally trained at most once *ever* -- across benchmark runs, CLI
+invocations, sweep workers, and sessions.
+
+Layout: one ``<key>.pkl`` pickle per artifact under the cache root
+(``results/cache/`` by default, overridable with ``$REPRO_CACHE_DIR``).
+Writes are atomic (temp file + rename) so concurrent sweep workers can
+share one directory; unreadable entries are treated as misses.  A process
+-local memory layer sits above the disk so repeated lookups return the
+*same* object (the old module-level ``_TRAIN_CACHE`` identity contract).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CACHE_VERSION",
+    "ProfileCache",
+    "code_fingerprint",
+    "default_cache",
+    "default_cache_dir",
+]
+
+#: Bump to invalidate every on-disk artifact (serialization/trainer layout
+#: changes); the version participates in the content hash.
+CACHE_VERSION = 1
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the functional-training source (``repro.gbdt`` +
+    ``repro.datasets``), folded into every training cache key.
+
+    Parameters alone cannot tell a pre-change artifact from a post-change
+    one: editing the trainer or the synthetic generators would otherwise
+    silently serve stale pickles to benchmarks, ``repro validate``, and the
+    CLI.  Hashing the source files auto-invalidates on any such edit (a
+    comment-only change also invalidates -- the safe direction).
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import hashlib
+
+        from .. import datasets, gbdt
+
+        h = hashlib.sha256()
+        for pkg in (gbdt, datasets):
+            root = Path(pkg.__file__).parent
+            for p in sorted(root.glob("*.py")):
+                h.update(p.name.encode())
+                h.update(p.read_bytes())
+        _CODE_FINGERPRINT = h.hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``results/cache`` under the cwd."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", os.path.join("results", "cache")))
+
+
+class ProfileCache:
+    """Two-level (memory over disk) store for training artifacts.
+
+    ``root=None`` disables the disk layer (memory-only, the behaviour of the
+    old in-process dict).  Instances are cheap; every instance pointed at the
+    same directory shares the persistent layer.
+    """
+
+    def __init__(self, root=..., memory: bool = True):
+        if root is ...:
+            root = default_cache_dir()
+        self.root: Path | None = Path(root) if root is not None else None
+        self._memory: dict[str, Any] | None = {} if memory else None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def path(self, key: str) -> Path | None:
+        return self.root / f"{key}.pkl" if self.root is not None else None
+
+    def contains(self, key: str) -> bool:
+        if self._memory is not None and key in self._memory:
+            return True
+        p = self.path(key)
+        return p is not None and p.is_file()
+
+    __contains__ = contains
+
+    # -- lookup / store ---------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        if self._memory is not None and key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        p = self.path(key)
+        if p is not None and p.is_file():
+            try:
+                with open(p, "rb") as fh:
+                    value = pickle.load(fh)
+            except Exception:
+                # Truncated/incompatible entry: treat as a miss and retrain.
+                self.misses += 1
+                return None
+            if self._memory is not None:
+                self._memory[key] = value
+            self.hits += 1
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        if self._memory is not None:
+            self._memory[key] = value
+        p = self.path(key)
+        if p is not None:
+            p.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=p.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, p)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        self.stores += 1
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry from both layers (e.g. ``repro sweep --refresh``)."""
+        if self._memory is not None:
+            self._memory.pop(key, None)
+        p = self.path(key)
+        if p is not None and p.is_file():
+            p.unlink()
+
+    def clear(self) -> None:
+        if self._memory is not None:
+            self._memory.clear()
+        if self.root is not None and self.root.is_dir():
+            for p in self.root.glob("*.pkl"):
+                p.unlink()
+
+
+_DEFAULT_CACHE: ProfileCache | None = None
+
+
+def default_cache() -> ProfileCache:
+    """The process-wide cache used when callers don't supply their own."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ProfileCache()
+    return _DEFAULT_CACHE

@@ -1,0 +1,373 @@
+"""Cartesian sweep expansion and the parallel sweep runner.
+
+A sweep is a base :class:`ScenarioSpec` plus named *axes*, each a list of
+values; :func:`expand_axes` produces the cartesian product as concrete
+scenarios.  :class:`SweepRunner` executes them either serially or across a
+:class:`concurrent.futures.ProcessPoolExecutor` -- functional training is
+the hot path and is pure CPU-bound NumPy, so one process per scenario is
+the right grain -- streaming :class:`SweepResult` objects as they complete.
+
+Workers share the persistent :class:`~repro.experiments.cache.ProfileCache`
+directory: each worker checks the disk before training and publishes its
+artifact atomically, so re-running an identical sweep performs zero
+functional-training calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, fields as dc_fields, replace
+from typing import Iterable, Iterator, Sequence
+
+from ..sim.calibrate import CostModel
+from ..sim.results import ComparisonResult
+from .cache import ProfileCache, default_cache
+from .pipeline import is_trained
+from .scenario import _COST_FIELD_NAMES, ScenarioSpec
+
+__all__ = [
+    "AXIS_NAMES",
+    "SweepResult",
+    "SweepRunner",
+    "apply_axis",
+    "expand_axes",
+    "parse_axis_specs",
+    "read_axis",
+    "run_scenario",
+]
+
+_SCENARIO_AXES = {
+    "dataset": "dataset",
+    "sim_records": "sim_records",
+    "records": "sim_records",
+    "seed": "seed",
+    "extra_scale": "extra_scale",
+    "scale": "extra_scale",
+}
+_TRAIN_AXES = {
+    "n_trees": "n_trees",
+    "trees": "n_trees",
+    "max_depth": "max_depth",
+    "learning_rate": "learning_rate",
+    "conflict_sample": "conflict_sample",
+}
+_SPLIT_AXES = {
+    "lambda_": "lambda_",
+    "gamma": "gamma",
+    "min_child_weight": "min_child_weight",
+    "min_child_records": "min_child_records",
+}
+_BOOSTER_AXES = {
+    "n_clusters": "n_clusters",
+    "bus_per_cluster": "bus_per_cluster",
+    "sram_bytes": "sram_bytes",
+    "clock_ghz": "clock_ghz",
+}
+
+#: Alternate CLI spellings, canonicalized for duplicate detection.
+_AXIS_ALIASES = {"trees": "n_trees", "records": "sim_records", "scale": "extra_scale"}
+
+#: Axes (and int-typed cost fields) that must receive integral values.
+_INT_AXES = {
+    "seed",
+    "sim_records",
+    "records",
+    "n_trees",
+    "trees",
+    "max_depth",
+    "conflict_sample",
+    "min_child_records",
+    "n_clusters",
+    "bus_per_cluster",
+    "sram_bytes",
+    "n_bus",
+}
+_INT_AXES |= {f.name for f in dc_fields(CostModel) if f.type == "int"}
+
+#: Axis name -> target field, derived from the routing tables above so the
+#: two can never drift.  Any :class:`CostModel` field name is also a valid
+#: axis (applied through ``cost_overrides``).
+AXIS_NAMES = {
+    **{k: f"scenario.{v}" for k, v in _SCENARIO_AXES.items()},
+    **{k: f"train.{v}" for k, v in _TRAIN_AXES.items()},
+    **{k: f"train.split.{v}" for k, v in _SPLIT_AXES.items()},
+    **{k: f"booster.{v}" for k, v in _BOOSTER_AXES.items()},
+    "n_bus": "booster.n_clusters (derived: n_bus / bus_per_cluster)",
+}
+
+
+def apply_axis(scenario: ScenarioSpec, name: str, value) -> ScenarioSpec:
+    """Return ``scenario`` with one axis set to ``value``."""
+    if name != "dataset" and isinstance(value, str):
+        # Every axis but the dataset name is numeric; reject early with a
+        # clean message instead of a TypeError deep in validation/cost math.
+        raise ValueError(f"axis {name!r} needs a numeric value, got {value!r}")
+    if name in _INT_AXES:
+        if not math.isfinite(value) or float(value) != int(value):
+            raise ValueError(f"axis {name!r} needs an integer value, got {value!r}")
+        value = int(value)
+    if name in _SCENARIO_AXES:
+        return replace(scenario, **{_SCENARIO_AXES[name]: value})
+    if name in _TRAIN_AXES:
+        return replace(scenario, train=replace(scenario.train, **{_TRAIN_AXES[name]: value}))
+    if name in _SPLIT_AXES:
+        split = replace(scenario.train.split, **{_SPLIT_AXES[name]: value})
+        return replace(scenario, train=replace(scenario.train, split=split))
+    if name in _BOOSTER_AXES:
+        return replace(scenario, booster=replace(scenario.booster, **{_BOOSTER_AXES[name]: value}))
+    if name == "n_bus":
+        per = scenario.booster.bus_per_cluster
+        if value % per:
+            raise ValueError(
+                f"n_bus={value} is not a multiple of bus_per_cluster={per}"
+            )
+        return replace(
+            scenario, booster=replace(scenario.booster, n_clusters=int(value // per))
+        )
+    if name in _COST_FIELD_NAMES:
+        overrides = dict(scenario.cost_overrides)
+        overrides[name] = value
+        return replace(scenario, cost_overrides=tuple(sorted(overrides.items())))
+    known = sorted(set(AXIS_NAMES) | _COST_FIELD_NAMES)
+    raise ValueError(f"unknown sweep axis {name!r}; known axes: {known}")
+
+
+def read_axis(scenario: ScenarioSpec, name: str):
+    """The scenario's current value for one axis (``apply_axis``'s inverse).
+
+    ``records``/``sim_records`` reads back resolved (the registry default
+    substituted), matching what the experiment actually runs with.
+    """
+    if name in ("records", "sim_records"):
+        return scenario.resolved_records()
+    if name in _SCENARIO_AXES:
+        return getattr(scenario, _SCENARIO_AXES[name])
+    if name in _TRAIN_AXES:
+        return getattr(scenario.train, _TRAIN_AXES[name])
+    if name in _SPLIT_AXES:
+        return getattr(scenario.train.split, _SPLIT_AXES[name])
+    if name in _BOOSTER_AXES:
+        return getattr(scenario.booster, _BOOSTER_AXES[name])
+    if name == "n_bus":
+        return scenario.booster.n_bus
+    if name in _COST_FIELD_NAMES:
+        return getattr(scenario.costs(), name)
+    known = sorted(set(AXIS_NAMES) | _COST_FIELD_NAMES)
+    raise ValueError(f"unknown sweep axis {name!r}; known axes: {known}")
+
+
+def expand_axes(
+    base: ScenarioSpec, axes: dict[str, Sequence]
+) -> list[ScenarioSpec]:
+    """Cartesian product of the axes applied to ``base``, in axis order.
+
+    Within each combination the derived ``n_bus`` axis is applied last, so
+    sweeping it together with ``bus_per_cluster`` resolves against the
+    combination's cluster width rather than axis declaration order.
+    """
+    if not axes:
+        return [base]
+    names = list(axes)
+    out = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        scenario = base
+        for name, value in sorted(
+            zip(names, combo), key=lambda pair: pair[0] == "n_bus"
+        ):
+            scenario = apply_axis(scenario, name, value)
+        out.append(scenario)
+    return out
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_axis_specs(specs: Iterable[str]) -> dict[str, list]:
+    """Parse CLI ``NAME=V1,V2,...`` axis strings into an axes mapping."""
+    axes: dict[str, list] = {}
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        name = name.strip()
+        parsed = [_parse_value(v.strip()) for v in values.split(",") if v.strip()]
+        if not sep or not name or not parsed:
+            raise ValueError(f"bad axis spec {spec!r}; expected NAME=V1,V2,...")
+        canonical = _AXIS_ALIASES.get(name, name)
+        if any(_AXIS_ALIASES.get(n, n) == canonical for n in axes):
+            raise ValueError(
+                f"duplicate axis {name!r}; give each axis once (aliases like "
+                f"trees/n_trees count as the same axis)"
+            )
+        axes[name] = parsed
+    return axes
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one scenario: the comparison plus cache provenance."""
+
+    scenario: ScenarioSpec
+    comparison: ComparisonResult
+    cache_hit: bool  # training artifact was served from the cache
+    worker_pid: int  # process that executed the scenario
+
+    @property
+    def booster_speedup(self) -> float:
+        return self.comparison.speedup("booster")
+
+
+def run_scenario(
+    scenario: ScenarioSpec, cache: ProfileCache | None = None
+) -> SweepResult:
+    """Execute one scenario end to end (train -> profile -> all systems)."""
+    from ..sim.executor import Executor  # lazy: sim.executor is a facade over us
+
+    cache = cache or default_cache()
+    hit = is_trained(scenario, cache)
+    executor = Executor.from_scenario(scenario, cache=cache)
+    comparison = executor.compare(
+        scenario.dataset,
+        systems=list(scenario.systems),
+        extra_scale=scenario.extra_scale,
+    )
+    return SweepResult(
+        scenario=scenario,
+        comparison=comparison,
+        cache_hit=hit,
+        worker_pid=os.getpid(),
+    )
+
+
+#: Worker-process cache instances, one per root: pool workers execute many
+#: scenarios, and reusing the cache's memory layer avoids re-unpickling a
+#: shared training artifact once per sibling scenario.
+_WORKER_CACHES: dict[str, ProfileCache] = {}
+
+
+def _run_payload(payload: tuple[dict, str | None]) -> SweepResult:
+    """Process-pool entry point (module-level so it pickles)."""
+    scenario_dict, cache_root = payload
+    scenario = ScenarioSpec.from_dict(scenario_dict)
+    cache = _WORKER_CACHES.get(cache_root)
+    if cache is None:
+        cache = _WORKER_CACHES[cache_root] = ProfileCache(root=cache_root)
+    return run_scenario(scenario, cache)
+
+
+class SweepRunner:
+    """Expands and executes scenario sweeps, streaming results.
+
+    ``max_workers=None`` sizes the pool to ``min(len(scenarios),
+    max(cpu_count, 2))`` -- at least two workers, so sweeps exercise the
+    multi-process path even on single-core machines.  ``parallel=False``
+    (or a single scenario) runs everything in-process, which is also the
+    mode where monkeypatched counters can observe training calls.
+    """
+
+    def __init__(
+        self,
+        cache: ProfileCache | None = None,
+        max_workers: int | None = None,
+        parallel: bool = True,
+    ) -> None:
+        self.cache = cache or default_cache()
+        self.max_workers = max_workers
+        self.parallel = parallel
+
+    def _pool_size(self, n_scenarios: int) -> int:
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, n_scenarios))
+        return max(1, min(n_scenarios, max(os.cpu_count() or 1, 2)))
+
+    def run(self, scenarios: Sequence[ScenarioSpec]) -> Iterator[SweepResult]:
+        """Yield results as scenarios complete (completion order).
+
+        Scenarios sharing an untrained training artifact are phased: one
+        representative per train key runs first and publishes the artifact,
+        then its siblings fan out as cache hits -- hardware-only sweeps
+        (e.g. an ``n_bus`` axis) train each configuration once, not once
+        per worker.
+        """
+        scenarios = list(scenarios)
+        if not scenarios:
+            return
+        workers = self._pool_size(len(scenarios))
+        # A diskless cache cannot be shared with workers: a parallel run
+        # would retrain per process.  Serial keeps the train-once guarantee.
+        if not self.parallel or workers == 1 or self.cache.root is None:
+            for scenario in scenarios:
+                yield run_scenario(scenario, self.cache)
+            return
+        root = str(self.cache.root)
+
+        def submit(pool, scenario):
+            return pool.submit(_run_payload, (scenario.to_dict(), root))
+
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pending: dict = {}
+        try:
+            representative: dict[str, object] = {}  # train_key -> its future
+            for scenario in scenarios:
+                key = scenario.train_key()
+                rep = representative.get(key)
+                if rep is not None and not is_trained(scenario, self.cache):
+                    # Queue behind the in-flight representative for this key.
+                    pending[rep].append(scenario)
+                else:
+                    future = submit(pool, scenario)
+                    pending[future] = [scenario]
+                    representative.setdefault(key, future)
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    group = pending.pop(future)
+                    result = future.result()
+                    # The artifact now exists on disk: release the siblings
+                    # that were queued behind this representative.
+                    for sibling in group[1:]:
+                        pending[submit(pool, sibling)] = [sibling]
+                    yield result
+        finally:
+            # On abandonment (GeneratorExit) or a worker failure, drop the
+            # not-yet-started work instead of blocking on the whole sweep;
+            # scenarios queued behind a representative are never submitted.
+            for future in pending:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def run_indexed(
+        self, scenarios: Sequence[ScenarioSpec]
+    ) -> Iterator[tuple[int, SweepResult]]:
+        """Like :meth:`run`, but each result carries its input index.
+
+        Duplicate scenarios are allowed; each occurrence is matched to one
+        result (earliest free index for that scenario first).
+        """
+        scenarios = list(scenarios)
+        slots: dict[str, list[int]] = {}
+        for i, scenario in enumerate(scenarios):
+            slots.setdefault(scenario.cache_key(), []).append(i)
+        for result in self.run(scenarios):
+            yield slots[result.scenario.cache_key()].pop(0), result
+
+    def run_all(self, scenarios: Sequence[ScenarioSpec]) -> list[SweepResult]:
+        """All results, reordered to match the input scenario order."""
+        scenarios = list(scenarios)
+        out: list[SweepResult | None] = [None] * len(scenarios)
+        for i, result in self.run_indexed(scenarios):
+            out[i] = result
+        return [r for r in out if r is not None]
+
+    def sweep(
+        self, base: ScenarioSpec, axes: dict[str, Sequence]
+    ) -> Iterator[SweepResult]:
+        """Expand ``axes`` over ``base`` and run the product."""
+        return self.run(expand_axes(base, axes))

@@ -352,6 +352,28 @@ class InferenceWork:
     mean_tree_nodes: float
     table_bytes_total: float
 
+    def scaled(self, factor: float) -> "InferenceWork":
+        """Extrapolate to a larger/smaller record count, returning a copy.
+
+        Totals (record count, summed path length) scale linearly; per-record
+        statistics (mean/max path lengths, divergence) and per-ensemble
+        quantities (tree count, table bytes) are record-count invariant.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        n = max(1, int(round(self.n_records * factor)))
+        return InferenceWork(
+            spec=self.spec.with_records(n),
+            n_records=n,
+            n_trees=self.n_trees,
+            max_depth=self.max_depth,
+            mean_path_len=self.mean_path_len,
+            sum_path_len=self.sum_path_len * factor,
+            path_len_cv=self.path_len_cv,
+            mean_tree_nodes=self.mean_tree_nodes,
+            table_bytes_total=self.table_bytes_total,
+        )
+
     @property
     def total_hops_actual(self) -> float:
         """CPU/GPU traversal work: actual interior hops."""

@@ -1,4 +1,4 @@
-"""End-to-end experiment executor.
+"""End-to-end experiment executor: a facade over :mod:`repro.experiments`.
 
 Pipeline per dataset (mirrors the paper's methodology, Sec. IV):
 
@@ -8,8 +8,14 @@ Pipeline per dataset (mirrors the paper's methodology, Sec. IV):
    count (500 trees) -- time models consume paper-scale work;
 4. evaluate every hardware model on the identical profile.
 
-Training runs are cached per (dataset, records, trees, seed) so the whole
-benchmark suite trains each dataset exactly once per session.
+The executor no longer owns the caching: functional training is served by
+the experiments layer's persistent :class:`ProfileCache` (``results/cache/``
+by default), keyed by a content hash covering the dataset identity and
+*every* training hyper-parameter, so identical configurations are never
+retrained -- not within a session, and not across sessions.  Declarative
+sweeps over executor configurations live in
+:class:`repro.experiments.SweepRunner`; ``Executor.from_scenario`` bridges
+the two worlds.
 """
 
 from __future__ import annotations
@@ -27,26 +33,53 @@ from ..baselines import (
 )
 from ..baselines.base import StepTimes
 from ..core import BoosterConfig, BoosterEngine
-from ..datasets import BENCHMARK_NAMES, dataset_spec, generate
-from ..gbdt import EnsemblePredictor, TrainParams, TrainResult, WorkProfile, train
+from ..datasets import BENCHMARK_NAMES
+from ..datasets.encoding import BinnedDataset
+from ..experiments.cache import ProfileCache, default_cache
+from ..experiments.pipeline import benchmark_dataset, train_scenario
+from ..experiments.scenario import ScenarioSpec, cost_overrides_from
+from ..gbdt import EnsemblePredictor, TrainParams, TrainResult, WorkProfile
 from ..memory.profile import BandwidthProfile, bandwidth_profile
 from .calibrate import DEFAULT_COSTS, CostModel
 from .results import ComparisonResult, InferenceResult
 
-__all__ = ["Executor", "quick_compare", "PAPER_TREES", "DEFAULT_SIM_TREES"]
+__all__ = [
+    "Executor",
+    "MODEL_NAMES",
+    "quick_compare",
+    "PAPER_TREES",
+    "DEFAULT_SIM_TREES",
+]
 
 #: The paper trains 500 trees of depth up to 6 per benchmark (Sec. IV).
 PAPER_TREES = 500
+
+#: Every hardware model the executor registers (importable without building
+#: an executor, e.g. for CLI validation).
+MODEL_NAMES = (
+    "sequential",
+    "ideal-32-core",
+    "real-32-core",
+    "ideal-gpu",
+    "real-gpu",
+    "inter-record",
+    "booster",
+    "booster-no-opts",
+    "booster-group-by-field",
+)
 #: Boosting rounds actually executed by the functional simulator; per-tree
 #: work is homogeneous after the first rounds and all results are ratios.
 DEFAULT_SIM_TREES = 20
 
-_TRAIN_CACHE: dict[tuple, TrainResult] = {}
-
 
 @dataclass
 class Executor:
-    """Runs the full dataset -> profile -> timing pipeline with caching."""
+    """Runs the full dataset -> profile -> timing pipeline with caching.
+
+    ``train_params`` pins the full training configuration; when omitted it
+    defaults to ``TrainParams(n_trees=sim_trees)``.  ``cache`` selects the
+    artifact store (the shared persistent default when omitted).
+    """
 
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
     booster_config: BoosterConfig = field(default_factory=BoosterConfig)
@@ -54,10 +87,52 @@ class Executor:
     sim_trees: int = DEFAULT_SIM_TREES
     seed: int = 7
     scale_to_paper: bool = True
+    train_params: TrainParams | None = None
+    cache: ProfileCache | None = None
 
     def __post_init__(self) -> None:
+        if self.train_params is None:
+            self.train_params = TrainParams(n_trees=self.sim_trees)
+        else:
+            self.sim_trees = self.train_params.n_trees
+        self._cache = self.cache if self.cache is not None else default_cache()
         self._bandwidth: BandwidthProfile = bandwidth_profile()
         self._models = self._build_models()
+
+    # -- scenario bridge ---------------------------------------------------------
+
+    @classmethod
+    def from_scenario(
+        cls, scenario: ScenarioSpec, cache: ProfileCache | None = None
+    ) -> "Executor":
+        """Build an executor configured exactly like ``scenario``.
+
+        The scenario's dataset/systems/extra-scale choices are per-call
+        arguments on the executor side; everything configurational (costs,
+        design point, training params, scales, seed) carries over.
+        """
+        return cls(
+            costs=scenario.costs(),
+            booster_config=scenario.booster,
+            sim_records=scenario.sim_records,
+            seed=scenario.seed,
+            scale_to_paper=scenario.scale_to_paper,
+            train_params=scenario.train,
+            cache=cache,
+        )
+
+    def scenario(self, dataset: str) -> ScenarioSpec:
+        """The :class:`ScenarioSpec` describing this executor on ``dataset``."""
+        assert self.train_params is not None
+        return ScenarioSpec(
+            dataset=dataset,
+            sim_records=self.sim_records,
+            seed=self.seed,
+            train=self.train_params,
+            booster=self.booster_config,
+            cost_overrides=cost_overrides_from(self.costs),
+            scale_to_paper=self.scale_to_paper,
+        )
 
     # -- model registry ------------------------------------------------------------
 
@@ -84,6 +159,7 @@ class Executor:
                 **kw,
             ),
         }
+        assert set(models) == set(MODEL_NAMES)
         return models
 
     def model(self, name: str) -> HardwareModel:
@@ -93,18 +169,19 @@ class Executor:
     def model_names(self) -> list[str]:
         return list(self._models)
 
-    # -- functional training (cached) --------------------------------------------------
+    @property
+    def bandwidth(self) -> BandwidthProfile:
+        """The DRAM bandwidth calibration shared by all models."""
+        return self._bandwidth
+
+    # -- functional training (persistently cached) ---------------------------------
+
+    def dataset(self, dataset: str) -> BinnedDataset:
+        """The generated simulation-scale dataset (memoized per process)."""
+        return benchmark_dataset(dataset, self.sim_records, self.seed)
 
     def train_result(self, dataset: str) -> TrainResult:
-        spec = dataset_spec(dataset, n_records=self.sim_records, seed=self.seed)
-        key = (dataset, spec.n_records, self.sim_trees, self.seed)
-        cached = _TRAIN_CACHE.get(key)
-        if cached is not None:
-            return cached
-        data = generate(spec)
-        result = train(data, TrainParams(n_trees=self.sim_trees))
-        _TRAIN_CACHE[key] = result
-        return result
+        return train_scenario(self.scenario(dataset), cache=self._cache)
 
     def profile(self, dataset: str, extra_scale: float = 1.0) -> WorkProfile:
         """Paper-scale work profile (records x ``extra_scale``, 500 trees)."""
@@ -149,14 +226,11 @@ class Executor:
     ) -> InferenceResult:
         """Batch-inference comparison over all records (Fig. 13)."""
         result = self.train_result(dataset)
-        data = generate(dataset_spec(dataset, n_records=self.sim_records, seed=self.seed))
+        data = self.dataset(dataset)  # same memoized dataset training used
         predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
         work = predictor.inference_work(data, n_trees_target=n_trees)
         if self.scale_to_paper:
-            k = work.spec.paper_records / work.n_records
-            work.sum_path_len *= k
-            work.n_records = int(round(work.n_records * k))
-            work.spec = work.spec.with_records(work.n_records)
+            work = work.scaled(work.spec.paper_records / work.n_records)
         names = systems or ["ideal-32-core", "booster"]
         seconds = {name: self._models[name].inference_seconds(work) for name in names}
         return InferenceResult(dataset=dataset, seconds=seconds)

@@ -87,10 +87,31 @@ def bw_profile():
     return bandwidth_profile()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_profile_cache(tmp_path_factory):
+    """Point the default profile cache at a session-fresh directory.
+
+    Keeps the unit suite hermetic: no artifacts are read from or written to
+    the repo's ``results/cache/`` (the durable cross-session cache stays
+    the default for benchmarks, examples, and the CLI).
+    """
+    import repro.experiments.cache as cache_mod
+
+    previous = cache_mod._DEFAULT_CACHE
+    cache_mod._DEFAULT_CACHE = cache_mod.ProfileCache(
+        root=tmp_path_factory.mktemp("profile-cache")
+    )
+    yield
+    cache_mod._DEFAULT_CACHE = previous
+
+
 @pytest.fixture(scope="session")
 def executor():
-    """Paper-shape executor: trains every benchmark once for the session."""
-    return Executor(sim_trees=6)
+    """Paper-shape executor built through the scenario layer: every benchmark
+    trains once for the session (served from the session's profile cache)."""
+    from repro.experiments import ScenarioSpec
+
+    return Executor.from_scenario(ScenarioSpec(train=TrainParams(n_trees=6)))
 
 
 @pytest.fixture(scope="session")

@@ -75,6 +75,66 @@ class TestCommands:
         assert main(["sweep", "--dataset", "mq2008", "--trees", "2"]) == 0
         assert "3200" in capsys.readouterr().out
 
+    def test_sweep_axes_serial_and_warm_rerun(self, capsys, monkeypatch, tmp_path):
+        import repro.experiments.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        argv = [
+            "sweep",
+            "--trees", "2",
+            "--serial",
+            "--dataset", "mq2008",
+            "--axis", "max_depth=2,3",
+            "--systems", "ideal-32-core", "booster",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep (2 scenarios)" in out
+        assert out.count("[trained]") == 2
+        # Identical sweep again: served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("[cache hit]") == 2
+        assert "[trained]" not in out
+
+    def test_sweep_duplicate_axis_values_keep_rows(self, capsys, monkeypatch, tmp_path):
+        import repro.experiments.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        assert main([
+            "sweep",
+            "--trees", "2",
+            "--serial",
+            "--dataset", "mq2008",
+            "--axis", "seed=7,7",
+            "--systems", "ideal-32-core", "booster",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep (2 scenarios)" in out
+
+    def test_sweep_bad_axis(self, capsys):
+        assert main(["sweep", "--axis", "bogus=1", "--trees", "2"]) == 2
+        assert "unknown sweep axis" in capsys.readouterr().err
+
+    def test_sweep_unknown_dataset_value(self, capsys):
+        assert main(["sweep", "--axis", "dataset=bogus", "--trees", "2"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_sweep_empty_axis_values(self, capsys):
+        assert main(["sweep", "--axis", "seed=,", "--trees", "2"]) == 2
+        assert "bad axis spec" in capsys.readouterr().err
+
+    def test_sweep_unknown_system(self, capsys):
+        code = main(["sweep", "--axis", "seed=1", "--systems", "boster", "--trees", "2"])
+        assert code == 2
+        assert "unknown systems" in capsys.readouterr().err
+
+    def test_sweep_non_numeric_axis_value(self, capsys):
+        assert main(["sweep", "--axis", "pcie_gbps=fast", "--trees", "2"]) == 2
+        assert "needs a numeric value" in capsys.readouterr().err
+
 
 class TestArtifacts:
     def test_registry_complete(self):

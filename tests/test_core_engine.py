@@ -1,5 +1,6 @@
 """Tests for the Booster engine, broadcast bus, and config (repro.core)."""
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -133,6 +134,52 @@ class TestMicroSimulation:
         res = simulate_step1_micro(500, spec)
         # Each record occupies exactly bu_op_cycles of replica time.
         assert res.bu_busy_cycles == 500 * 8
+
+
+class TestAdmissionVectorization:
+    """The vectorized admission schedule must match the scalar reference."""
+
+    @pytest.mark.parametrize(
+        "n,replicas,fill,per_record",
+        [
+            (0, 4, 200, 8),
+            (1, 3200, 200, 8),
+            (7, 3, 0, 1),
+            (500, 5, 200, 16),
+            (2000, 271, 200, 8),
+            (999, 1, 50, 8),
+            (64, 128, 10, 3),  # more replicas than records
+        ],
+    )
+    def test_matches_scalar_reference(self, n, replicas, fill, per_record):
+        from repro.core.engine import _admit_records_scalar, _admit_records_vectorized
+
+        arrivals = np.linspace(0, 12345, n, endpoint=False).astype(np.int64)
+        assert _admit_records_vectorized(
+            arrivals, fill, per_record, replicas
+        ) == _admit_records_scalar(arrivals, fill, per_record, replicas)
+
+    def test_matches_on_random_nondecreasing_arrivals(self, rng):
+        from repro.core.engine import _admit_records_scalar, _admit_records_vectorized
+
+        for _ in range(50):
+            n = int(rng.integers(0, 300))
+            replicas = int(rng.integers(1, 32))
+            fill = int(rng.integers(0, 250))
+            per_record = int(rng.integers(1, 40))
+            arrivals = np.sort(rng.integers(0, 4000, size=n)).astype(np.int64)
+            assert _admit_records_vectorized(
+                arrivals, fill, per_record, replicas
+            ) == _admit_records_scalar(arrivals, fill, per_record, replicas)
+
+    def test_dispatch_uses_scalar_below_threshold(self):
+        from repro.core import engine
+
+        arrivals = np.arange(8, dtype=np.int64)
+        assert engine._ADMIT_VECTOR_MIN > 8
+        assert engine._admit_records(arrivals, 3, 5, 2) == engine._admit_records_scalar(
+            arrivals, 3, 5, 2
+        )
 
 
 class TestInference:

@@ -14,7 +14,7 @@ class TestFieldPartitioning:
     def test_tiny_chip_partitions_iot(self, executor):
         prof = executor.profile("iot")  # 115 fields
         tiny = BoosterConfig(n_clusters=1, bus_per_cluster=32)
-        engine = BoosterEngine(config=tiny, bandwidth=executor._bandwidth)
+        engine = BoosterEngine(config=tiny, bandwidth=executor.bandwidth)
         mapping = engine.bin_mapping(prof)
         assert mapping.field_passes == -(-115 // 32)
         assert mapping.replicas == 1
@@ -22,8 +22,8 @@ class TestFieldPartitioning:
     def test_partitioning_costs_extra_stat_fetches(self, executor):
         prof = executor.profile("iot")
         tiny = BoosterConfig(n_clusters=1, bus_per_cluster=32)
-        small = BoosterEngine(config=tiny, bandwidth=executor._bandwidth)
-        big = BoosterEngine(bandwidth=executor._bandwidth)
+        small = BoosterEngine(config=tiny, bandwidth=executor.bandwidth)
+        big = BoosterEngine(bandwidth=executor.bandwidth)
         assert small.training_times(prof).step1 > big.training_times(prof).step1
 
 

@@ -1,0 +1,477 @@
+"""Tests for the experiments layer: scenarios, persistent cache, sweeps."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.core import BoosterConfig
+from repro.experiments import (
+    ProfileCache,
+    ScenarioSpec,
+    SweepRunner,
+    apply_axis,
+    expand_axes,
+    parse_axis_specs,
+    run_scenario,
+    train_scenario,
+)
+from repro.gbdt import TrainParams
+from repro.gbdt.split import SplitParams
+
+#: A deliberately tiny scenario: fast functional training for cache tests.
+TINY = ScenarioSpec(
+    dataset="mq2008",
+    sim_records=500,
+    train=TrainParams(n_trees=2),
+    systems=("ideal-32-core", "booster"),
+)
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+
+class TestScenarioSpec:
+    def test_json_roundtrip(self):
+        scenario = replace(
+            TINY,
+            cost_overrides=(("pcie_gbps", 32.0),),
+            booster=BoosterConfig(n_clusters=25),
+            extra_scale=2.0,
+        )
+        again = ScenarioSpec.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.train_key() == scenario.train_key()
+        assert again.cache_key() == scenario.cache_key()
+
+    def test_hashable_and_equal(self):
+        assert hash(TINY) == hash(ScenarioSpec.from_dict(TINY.to_dict()))
+
+    def test_systems_default_normalization(self):
+        assert ScenarioSpec(systems=()).systems == ScenarioSpec().systems
+
+    def test_cost_overrides_applied(self):
+        scenario = replace(TINY, cost_overrides=(("pcie_gbps", 32.0),))
+        assert scenario.costs().pcie_gbps == 32.0
+        with pytest.raises(ValueError, match="unknown cost-model field"):
+            replace(TINY, cost_overrides=(("no_such_knob", 1.0),))
+
+    def test_resolved_records_registry_default(self):
+        assert ScenarioSpec(dataset="mq2008").resolved_records() == 1000
+        assert TINY.resolved_records() == 500
+
+    def test_train_key_covers_every_train_param(self):
+        """Regression for the old (dataset, records, trees, seed) cache key:
+        depth/split/learning-rate changes must produce distinct keys."""
+        base = TINY.train_key()
+        variants = [
+            replace(TINY, train=replace(TINY.train, max_depth=3)),
+            replace(TINY, train=replace(TINY.train, n_trees=3)),
+            replace(TINY, train=replace(TINY.train, learning_rate=0.1)),
+            replace(TINY, train=replace(TINY.train, conflict_sample=128)),
+            replace(TINY, train=replace(TINY.train, split=SplitParams(gamma=0.5))),
+            replace(TINY, train=replace(TINY.train, split=SplitParams(lambda_=9.0))),
+            replace(TINY, seed=11),
+            replace(TINY, sim_records=600),
+            replace(TINY, dataset="flight"),
+        ]
+        keys = [v.train_key() for v in variants]
+        assert base not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_hardware_changes_share_training_artifact(self):
+        """Booster/cost/system/scale knobs must NOT fragment the train cache."""
+        variants = [
+            replace(TINY, booster=BoosterConfig(n_clusters=10)),
+            replace(TINY, cost_overrides=(("pcie_gbps", 32.0),)),
+            replace(TINY, systems=("booster",)),
+            replace(TINY, extra_scale=10.0),
+            replace(TINY, scale_to_paper=False),
+        ]
+        for v in variants:
+            assert v.train_key() == TINY.train_key()
+            assert v.cache_key() != TINY.cache_key()
+
+    def test_train_key_covers_training_source_code(self, monkeypatch):
+        """Editing the trainer/generators must invalidate persisted
+        artifacts: the code fingerprint participates in the key."""
+        import repro.experiments.cache as cache_mod
+
+        before = TINY.train_key()
+        monkeypatch.setattr(cache_mod, "_CODE_FINGERPRINT", "deadbeefdeadbeef")
+        assert TINY.train_key() != before
+
+    def test_hash_stable_across_processes(self):
+        """Keys are content hashes: a fresh interpreter with a different
+        PYTHONHASHSEED must derive the identical keys."""
+        code = (
+            "from repro.experiments import ScenarioSpec\n"
+            f"s = ScenarioSpec.from_json({TINY.to_json()!r})\n"
+            "print(s.train_key()); print(s.cache_key())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "31337"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.split()
+        assert out == [TINY.train_key(), TINY.cache_key()]
+
+
+class TestProfileCache:
+    def test_miss_then_hit_identity(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        result = train_scenario(TINY, cache)
+        assert cache.misses == 1 and cache.stores == 1
+        assert train_scenario(TINY, cache) is result
+        assert cache.hits == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        first = train_scenario(TINY, cache)
+        reopened = ProfileCache(root=tmp_path)  # fresh memory layer, same disk
+        loaded = train_scenario(TINY, reopened)
+        assert loaded is not first  # came off disk, not the old dict
+        assert loaded.profile.summary() == first.profile.summary()
+        assert reopened.hits == 1 and reopened.misses == 0
+
+    def test_no_retrain_on_disk_hit(self, tmp_path, monkeypatch):
+        cache = ProfileCache(root=tmp_path)
+        train_scenario(TINY, cache)
+
+        def boom(*a, **k):  # any training call after warm-up is a bug
+            raise AssertionError("train() called despite warm cache")
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", boom)
+        train_scenario(TINY, ProfileCache(root=tmp_path))
+
+    def test_param_change_invalidates(self, tmp_path, monkeypatch):
+        cache = ProfileCache(root=tmp_path)
+        train_scenario(TINY, cache)
+        calls = []
+        from repro.gbdt import train as real_train
+
+        monkeypatch.setattr(
+            "repro.experiments.pipeline.train",
+            lambda data, params: calls.append(params) or real_train(data, params),
+        )
+        deeper = replace(TINY, train=replace(TINY.train, max_depth=2))
+        result = train_scenario(deeper, cache)
+        assert len(calls) == 1 and calls[0].max_depth == 2
+        assert result.profile.mean_max_depth() <= 2
+
+    def test_explicit_invalidate_and_corruption(self, tmp_path):
+        cache = ProfileCache(root=tmp_path)
+        key = TINY.train_key()
+        train_scenario(TINY, cache)
+        assert cache.contains(key)
+        cache.invalidate(key)
+        assert not cache.contains(key)
+        # A truncated entry is a miss, not a crash.
+        train_scenario(TINY, cache)
+        cache.path(key).write_bytes(b"not a pickle")
+        fresh = ProfileCache(root=tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+
+    def test_memory_only_mode(self):
+        cache = ProfileCache(root=None)
+        assert cache.path("k") is None
+        result = train_scenario(TINY, cache)
+        assert train_scenario(TINY, cache) is result
+
+
+class TestSweepExpansion:
+    def test_cartesian_counts(self):
+        scenarios = expand_axes(
+            TINY, {"max_depth": [2, 3, 4], "n_bus": [1600, 3200]}
+        )
+        assert len(scenarios) == 6
+        assert len({s.cache_key() for s in scenarios}) == 6
+        # 3 distinct training configs: n_bus is hardware-only.
+        assert len({s.train_key() for s in scenarios}) == 3
+
+    def test_no_axes_returns_base(self):
+        assert expand_axes(TINY, {}) == [TINY]
+
+    def test_axis_targets(self):
+        assert apply_axis(TINY, "dataset", "flight").dataset == "flight"
+        assert apply_axis(TINY, "n_clusters", 10).booster.n_clusters == 10
+        assert apply_axis(TINY, "max_depth", 3).train.max_depth == 3
+        assert apply_axis(TINY, "gamma", 0.5).train.split.gamma == 0.5
+        assert apply_axis(TINY, "pcie_gbps", 32.0).cost_overrides == (
+            ("pcie_gbps", 32.0),
+        )
+        n_bus = apply_axis(TINY, "n_bus", 1600)
+        assert n_bus.booster.n_clusters == 25 and n_bus.booster.n_bus == 1600
+
+    def test_n_bus_resolves_against_swept_bus_per_cluster(self):
+        """n_bus is derived: it must be applied after bus_per_cluster no
+        matter the axis declaration order."""
+        from repro.experiments import read_axis
+
+        for axes in (
+            {"n_bus": [1600], "bus_per_cluster": [16]},
+            {"bus_per_cluster": [16], "n_bus": [1600]},
+        ):
+            (scenario,) = expand_axes(TINY, axes)
+            assert scenario.booster.n_bus == 1600
+            assert scenario.booster.bus_per_cluster == 16
+            assert scenario.booster.n_clusters == 100
+            assert read_axis(scenario, "n_bus") == 1600
+
+    def test_read_axis_inverts_apply_axis(self):
+        from repro.experiments import read_axis
+
+        for name, value in [
+            ("dataset", "flight"),
+            ("max_depth", 3),
+            ("gamma", 0.5),
+            ("n_clusters", 10),
+            ("pcie_gbps", 32.0),
+            ("seed", 11),
+        ]:
+            assert read_axis(apply_axis(TINY, name, value), name) == value
+        assert read_axis(TINY, "records") == 500
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            read_axis(TINY, "warp_speed")
+
+    def test_n_bus_must_divide(self):
+        with pytest.raises(ValueError, match="not a multiple"):
+            apply_axis(TINY, "n_bus", 1000)
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            apply_axis(TINY, "warp_speed", 9)
+
+    def test_non_numeric_value_rejected(self):
+        for name in ("max_depth", "n_bus", "pcie_gbps", "seed"):
+            with pytest.raises(ValueError, match="needs a numeric value"):
+                apply_axis(TINY, name, "abc")
+        assert apply_axis(TINY, "dataset", "flight").dataset == "flight"
+
+    def test_integer_axes_reject_fractions(self):
+        for name, value in [
+            ("seed", 1.5),
+            ("max_depth", 2.5),
+            ("n_trees", 2.5),
+            ("seed", float("inf")),
+            ("seed", float("nan")),
+        ]:
+            with pytest.raises(ValueError, match="needs an integer value"):
+                apply_axis(TINY, name, value)
+        # Integral floats coerce cleanly; genuinely-float axes stay float.
+        assert apply_axis(TINY, "seed", 3.0).seed == 3
+        assert apply_axis(TINY, "learning_rate", 0.1).train.learning_rate == 0.1
+
+    def test_aliased_duplicate_axes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate axis"):
+            parse_axis_specs(["trees=2,3", "n_trees=4"])
+        with pytest.raises(ValueError, match="duplicate axis"):
+            parse_axis_specs(["records=500", "sim_records=600"])
+
+    def test_parse_axis_specs(self):
+        axes = parse_axis_specs(["n_bus=1600,3200", "dataset=higgs, flight"])
+        assert axes == {"n_bus": [1600, 3200], "dataset": ["higgs", "flight"]}
+        assert parse_axis_specs(["learning_rate=0.1,0.3"]) == {
+            "learning_rate": [0.1, 0.3]
+        }
+        for bad in (["n_bus"], ["seed=,"], ["=1,2"], ["seed="]):
+            with pytest.raises(ValueError, match="bad axis spec"):
+                parse_axis_specs(bad)
+        with pytest.raises(ValueError, match="duplicate axis"):
+            parse_axis_specs(["seed=1,2", "seed=3"])
+
+    def test_n_bus_float_value_yields_int_clusters(self):
+        scenario = apply_axis(TINY, "n_bus", 1600.0)
+        assert scenario.booster.n_clusters == 25
+        assert isinstance(scenario.booster.n_clusters, int)
+        assert scenario.cache_key() == apply_axis(TINY, "n_bus", 1600).cache_key()
+
+
+@pytest.fixture(scope="module")
+def sweep_scenarios():
+    """Four scenarios over two axes (the acceptance-criteria shape)."""
+    return expand_axes(TINY, {"max_depth": [2, 3], "seed": [3, 5]})
+
+
+class TestSweepRunner:
+    def test_parallel_cold_then_warm(self, tmp_path, sweep_scenarios, monkeypatch):
+        cache = ProfileCache(root=tmp_path)
+        runner = SweepRunner(cache=cache, max_workers=4)
+        cold = runner.run_all(sweep_scenarios)
+        assert len(cold) == 4
+        assert not any(r.cache_hit for r in cold)
+        # Genuinely spread across multiple worker processes, none of them us.
+        pids = {r.worker_pid for r in cold}
+        assert len(pids) >= 2
+        assert os.getpid() not in pids
+
+        # Re-running the identical sweep performs ZERO functional-training
+        # calls: every worker is served from the on-disk cache.  train() is
+        # replaced with a tripwire; the fork-started workers inherit it, so
+        # any training call in any process fails the run.
+        def boom(*a, **k):
+            raise AssertionError("train() called during warm sweep")
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", boom)
+        if multiprocessing.get_start_method() != "fork":  # pragma: no cover
+            pytest.skip("tripwire inheritance requires fork start method")
+        warm = SweepRunner(cache=ProfileCache(root=tmp_path), max_workers=4).run_all(
+            sweep_scenarios
+        )
+        assert all(r.cache_hit for r in warm)
+        for a, b in zip(cold, warm):
+            assert a.scenario == b.scenario
+            assert {k: v.as_dict() for k, v in a.comparison.systems.items()} == {
+                k: v.as_dict() for k, v in b.comparison.systems.items()
+            }
+
+    def test_serial_equals_parallel(self, tmp_path, sweep_scenarios):
+        """A from-scratch serial run reproduces the parallel results exactly."""
+        parallel = SweepRunner(
+            cache=ProfileCache(root=tmp_path / "par"), max_workers=4
+        ).run_all(sweep_scenarios)
+        serial = SweepRunner(
+            cache=ProfileCache(root=tmp_path / "ser"), parallel=False
+        ).run_all(sweep_scenarios)
+        assert [r.scenario for r in serial] == [r.scenario for r in parallel]
+        for p, s in zip(parallel, serial):
+            assert {k: v.as_dict() for k, v in p.comparison.systems.items()} == {
+                k: v.as_dict() for k, v in s.comparison.systems.items()
+            }
+        # Serial mode runs in this process.
+        assert {r.worker_pid for r in serial} == {os.getpid()}
+
+    def test_serial_counts_training_calls(self, tmp_path, monkeypatch):
+        calls = []
+        from repro.gbdt import train as real_train
+
+        monkeypatch.setattr(
+            "repro.experiments.pipeline.train",
+            lambda data, params: calls.append(1) or real_train(data, params),
+        )
+        scenarios = expand_axes(TINY, {"n_bus": [1600, 3200]})  # 1 training config
+        runner = SweepRunner(cache=ProfileCache(root=tmp_path), parallel=False)
+        first = runner.run_all(scenarios)
+        assert len(first) == 2 and len(calls) == 1  # shared artifact
+        calls.clear()
+        second = runner.run_all(scenarios)
+        assert len(second) == 2 and calls == []  # zero retraining
+        assert all(r.cache_hit for r in second)
+
+    def test_parallel_trains_hardware_axes_once(self, tmp_path):
+        """Scenarios differing only in hardware knobs share one cold
+        training: the representative trains, siblings are cache hits."""
+        scenarios = expand_axes(TINY, {"n_bus": [1600, 3200, 6400, 12800]})
+        assert len({s.train_key() for s in scenarios}) == 1
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), max_workers=4
+        ).run_all(scenarios)
+        assert len(results) == 4
+        assert sum(not r.cache_hit for r in results) == 1
+
+    def test_diskless_cache_falls_back_to_serial(self):
+        """A memory-only cache cannot be shared with pool workers; the
+        runner must keep the train-once guarantee by running in-process."""
+        scenarios = expand_axes(TINY, {"n_bus": [1600, 3200]})
+        results = SweepRunner(cache=ProfileCache(root=None), max_workers=4).run_all(
+            scenarios
+        )
+        assert {r.worker_pid for r in results} == {os.getpid()}
+        assert [r.cache_hit for r in results] == [False, True]
+
+    def test_run_all_keeps_duplicate_scenarios(self, tmp_path):
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), parallel=False
+        ).run_all([TINY, TINY, TINY])
+        assert len(results) == 3
+        assert [r.scenario for r in results] == [TINY, TINY, TINY]
+
+    def test_run_scenario_result_shape(self, tmp_path):
+        result = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert set(result.comparison.systems) == {"ideal-32-core", "booster"}
+        assert result.booster_speedup > 1.0
+        assert result.scenario == TINY
+
+
+class TestExecutorFacade:
+    def test_from_scenario_roundtrip(self, tmp_path):
+        from repro.sim import Executor
+
+        scenario = replace(TINY, cost_overrides=(("pcie_gbps", 32.0),))
+        executor = Executor.from_scenario(scenario, cache=ProfileCache(root=tmp_path))
+        assert executor.scenario("mq2008") == replace(scenario, systems=())
+        assert executor.costs.pcie_gbps == 32.0
+        assert executor.sim_trees == scenario.train.n_trees
+
+    def test_executor_shares_sweep_artifacts(self, tmp_path):
+        """The facade and the sweep runner hit the same persistent cache."""
+        from repro.sim import Executor
+
+        cache = ProfileCache(root=tmp_path)
+        SweepRunner(cache=cache, parallel=False).run_all([TINY])
+        executor = Executor.from_scenario(TINY, cache=ProfileCache(root=tmp_path))
+        hits_before = executor._cache.hits
+        executor.train_result("mq2008")
+        assert executor._cache.hits == hits_before + 1
+
+    def test_inference_reuses_training_dataset(self, tmp_path, monkeypatch):
+        """Regression: Executor.inference used to regenerate the dataset."""
+        from repro.experiments import pipeline
+        from repro.sim import Executor
+
+        executor = Executor.from_scenario(TINY, cache=ProfileCache(root=tmp_path))
+        executor.train_result("mq2008")
+        generations = []
+        real_generate = pipeline.generate
+        monkeypatch.setattr(
+            pipeline,
+            "generate",
+            lambda spec: generations.append(spec) or real_generate(spec),
+        )
+        executor.inference("mq2008", n_trees=4)
+        assert generations == []  # served by the process-wide dataset memo
+
+    def test_inference_does_not_mutate_work(self, tmp_path):
+        """Regression: the paper-scaling used to mutate InferenceWork in place."""
+        from repro.gbdt import EnsemblePredictor
+        from repro.sim import Executor
+
+        executor = Executor.from_scenario(TINY, cache=ProfileCache(root=tmp_path))
+        result = executor.train_result("mq2008")
+        data = executor.dataset("mq2008")
+        predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
+        work = predictor.inference_work(data, n_trees_target=4)
+        before = (work.n_records, work.sum_path_len, work.spec.n_records)
+        first = executor.inference("mq2008", n_trees=4)
+        second = executor.inference("mq2008", n_trees=4)
+        assert (work.n_records, work.sum_path_len, work.spec.n_records) == before
+        assert first.seconds == second.seconds
+
+    def test_inference_scaled_copy(self):
+        from dataclasses import asdict
+
+        from repro.gbdt import EnsemblePredictor
+
+        result = train_scenario(TINY, ProfileCache(root=None))
+        from repro.experiments import benchmark_dataset
+
+        data = benchmark_dataset("mq2008", 500)
+        predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
+        work = predictor.inference_work(data, n_trees_target=4)
+        scaled = work.scaled(10.0)
+        assert scaled is not work
+        assert scaled.n_records == work.n_records * 10
+        assert scaled.sum_path_len == pytest.approx(work.sum_path_len * 10)
+        assert scaled.mean_path_len == work.mean_path_len
+        assert scaled.table_bytes_total == work.table_bytes_total
