@@ -49,6 +49,16 @@ class StepTimes:
             "total": self.total,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "StepTimes":
+        """Inverse of :meth:`as_dict` (the derived ``total`` is ignored)."""
+        return cls(
+            **{
+                k: float(d.get(k, 0.0))
+                for k in ("step1", "step2", "step3", "step5", "other")
+            }
+        )
+
     def scaled(self, k: float) -> "StepTimes":
         return StepTimes(
             step1=self.step1 * k,

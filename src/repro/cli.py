@@ -8,13 +8,31 @@ Installed as the ``repro`` console script::
     repro inference iot                 # batch inference (Fig. 13 style)
     repro figures fig7 fig13            # regenerate paper artifacts
     repro sweep --dataset higgs         # accelerator design space
+    repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl
+    repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl --resume
     repro validate                      # full reproduction claim checklist
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
+
+_EPILOG = """\
+examples:
+  repro compare flight --scale 10
+  repro sweep --axis n_bus=1600,3200 --axis dataset=higgs,flight
+  repro sweep --axis seed=1,2,3 --out results/sweeps/seeds.jsonl
+  repro sweep --axis seed=1,2,3 --out results/sweeps/seeds.jsonl --resume
+
+Sweeps stream one JSONL line per scenario to --out as results complete
+(failures included, as structured error lines); --resume skips every
+scenario with a successful line in the manifest, and the persistent result
+store (results/cache/ or $REPRO_CACHE_DIR) replays completed timings with
+zero retraining and zero re-simulation.
+"""
 
 from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
 from .gbdt import TrainParams, train, train_level_wise
@@ -30,6 +48,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Booster: An Accelerator for Gradient "
         "Boosting Decision Trees' (He, Vijaykumar, Thottethodi).",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
@@ -82,8 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Without --axis, prints the classic Booster design-space "
         "table. With one or more --axis NAME=V1,V2,... arguments, expands the "
         "cartesian product into scenarios and runs them across a process "
-        "pool, serving functional training from the persistent cache "
-        "(results/cache/ or $REPRO_CACHE_DIR).",
+        "pool, serving functional training and completed timing results from "
+        "the persistent stores (results/cache/ or $REPRO_CACHE_DIR).  A "
+        "failing scenario is reported and streamed like any other result; "
+        "the rest of the sweep completes.",
     )
     p_sweep.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
     p_sweep.add_argument(
@@ -109,7 +131,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--refresh",
         action="store_true",
-        help="drop cached training artifacts for these scenarios first",
+        help="drop cached training artifacts and stored timing results for "
+        "these scenarios first",
+    )
+    p_sweep.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="stream results to a JSONL manifest, one line per scenario "
+        "(written as each completes; failures become structured error lines)",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --out: skip scenarios that already have a successful line "
+        "in the manifest and run only the missing/failed ones",
     )
 
     sub.add_parser(
@@ -195,12 +231,62 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.axis:
         return _cmd_sweep_axes(args)
+    if args.out or args.resume:
+        # Silently ignoring these would leave a scripted caller waiting on a
+        # manifest that never appears.
+        print(
+            "--out/--resume apply to axis sweeps; add at least one "
+            "--axis NAME=V1,V2,...",
+            file=sys.stderr,
+        )
+        return 2
     return _cmd_sweep_design_space(args)
+
+
+def _resumable_results(path: pathlib.Path):
+    """Parse a JSONL sweep manifest into ``(cache_key, SweepResult)`` pairs
+    that are safe to resume from.
+
+    Corrupt/partial lines are skipped (an interrupted run can leave a
+    truncated final line; tolerating it is what makes ``--resume`` safe
+    after any kind of crash), and so are failed results and lines whose
+    recorded ``sim_code`` does not match the running simulation source --
+    replaying a pre-edit timing as current would silently mix stale rows
+    into the sweep.  Skipped scenarios simply re-run.
+    """
+    from .experiments import SweepResult, sim_fingerprint
+
+    pairs = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+            if d.get("error") is not None or d.get("comparison") is None:
+                continue
+            if d.get("sim_code") != sim_fingerprint():
+                continue
+            result = SweepResult.from_dict(d)
+            key = d.get("cache_key") or result.scenario.cache_key()
+        except Exception:
+            continue
+        pairs.append((key, result))
+    return pairs
+
+
+def _provenance(result) -> str:
+    if result.error is not None:
+        return "error"
+    if result.stored:
+        return "stored"
+    return "hit" if result.cache_hit else "trained"
 
 
 def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     """Scenario sweep over declared axes (the experiments layer)."""
     from .experiments import (
+        ResultStore,
         ScenarioSpec,
         SweepRunner,
         default_cache,
@@ -213,6 +299,13 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     from .sim.executor import MODEL_NAMES
 
     try:
+        if args.resume and not args.out:
+            raise ValueError("--resume requires --out (the manifest to resume from)")
+        if args.resume and args.refresh:
+            raise ValueError(
+                "--refresh forces recomputation and --resume skips completed "
+                "scenarios; the combination is contradictory -- drop one"
+            )
         unknown_systems = [s for s in (args.systems or []) if s not in MODEL_NAMES]
         if unknown_systems:
             raise ValueError(
@@ -233,39 +326,107 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
         return 2
 
     cache = default_cache()
+    results_store = ResultStore(root=cache.root)
     if args.refresh:
         for scenario in scenarios:
             cache.invalidate(scenario.train_key())
+            results_store.invalidate(scenario.cache_key())
+
+    manifest = pathlib.Path(args.out) if args.out else None
+    # Index -> result for scenarios already completed in the manifest.
+    resumed: dict[int, object] = {}
+    if args.resume and manifest is not None and manifest.exists():
+        by_key: dict[str, list] = {}
+        for key, result in _resumable_results(manifest):
+            by_key.setdefault(key, []).append(result)
+        for i, scenario in enumerate(scenarios):
+            bucket = by_key.get(scenario.cache_key())
+            if bucket:
+                resumed[i] = bucket.pop(0)
 
     axis_names = list(axes)
     print(
         f"sweep: {len(scenarios)} scenarios over axes "
         f"{', '.join(axis_names)} (cache: {cache.root})"
     )
-    runner = SweepRunner(
-        cache=cache, max_workers=args.workers, parallel=not args.serial
-    )
-    ordered: list[list[str] | None] = [None] * len(scenarios)
-    for index, result in runner.run_indexed(scenarios):
-        scenario = result.scenario
-        axis_cells = [str(read_axis(scenario, name)) for name in axis_names]
-        times = result.comparison.systems
+    if resumed:
+        print(
+            f"resume: {len(resumed)}/{len(scenarios)} scenarios already in "
+            f"{manifest}; running the remaining {len(scenarios) - len(resumed)}"
+        )
+
+    def axis_cells(scenario) -> list[str]:
+        cells = []
+        for name in axis_names:
+            try:
+                cells.append(str(read_axis(scenario, name)))
+            except Exception:
+                cells.append("?")  # e.g. records of an unknown dataset
+        return cells
+
+    def to_row(result) -> list[str]:
+        times = result.comparison.systems if result.comparison is not None else {}
         booster_cell = f"{times['booster'].total:.4g}" if "booster" in times else "-"
         if "booster" in times and result.comparison.baseline in times:
             speedup_cell = f"{result.booster_speedup:.2f}x"
         else:
             speedup_cell = "-"
-        row = axis_cells + [
+        return axis_cells(result.scenario) + [
             booster_cell,
             speedup_cell,
-            "hit" if result.cache_hit else "trained",
+            _provenance(result),
             str(result.worker_pid),
         ]
+
+    ordered: list[list[str] | None] = [None] * len(scenarios)
+    for index, result in resumed.items():
+        row = to_row(result)
+        row[-2] = "resumed"  # provenance: completed in the manifest already
         ordered[index] = row
-        print(
-            f"  done {'x'.join(axis_cells)}: booster {booster_cell} s "
-            f"({speedup_cell}) [{'cache hit' if result.cache_hit else 'trained'}]"
+
+    pending = [(i, s) for i, s in enumerate(scenarios) if i not in resumed]
+    manifest_fh = None
+    if manifest is not None:
+        manifest.parent.mkdir(parents=True, exist_ok=True)
+        # An interrupted run can leave a partial final line with no trailing
+        # newline; terminate it before appending so the new result line
+        # doesn't fuse with the garbage into one unparseable line.
+        needs_newline = (
+            args.resume
+            and manifest.exists()
+            and manifest.stat().st_size > 0
+            and not manifest.read_bytes().endswith(b"\n")
         )
+        manifest_fh = open(manifest, "a" if args.resume else "w")
+        if needs_newline:
+            manifest_fh.write("\n")
+
+    failures = 0
+    runner = SweepRunner(
+        cache=cache,
+        max_workers=args.workers,
+        parallel=not args.serial,
+        results=results_store,
+    )
+    try:
+        for sub_index, result in runner.run_indexed([s for _, s in pending]):
+            index = pending[sub_index][0]
+            ordered[index] = to_row(result)
+            if manifest_fh is not None:
+                manifest_fh.write(json.dumps(result.to_dict()) + "\n")
+                manifest_fh.flush()
+            cells = "x".join(axis_cells(result.scenario))
+            if result.error is not None:
+                failures += 1
+                print(f"  FAILED {cells}: {result.error}")
+            else:
+                row = ordered[index]
+                label = {"hit": "cache hit"}.get(_provenance(result), _provenance(result))
+                print(f"  done {cells}: booster {row[-4]} s ({row[-3]}) [{label}]")
+    finally:
+        if manifest_fh is not None:
+            manifest_fh.close()
+
     rows = [row for row in ordered if row is not None]
     print()
     print(
@@ -275,6 +436,9 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             title=f"scenario sweep ({len(rows)} scenarios)",
         )
     )
+    if failures:
+        print(f"{failures} scenario(s) failed; see the error lines above", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -9,16 +9,33 @@ design point x scale x systems) tuple -- a first-class object:
   default) for trained :class:`~repro.gbdt.trainer.TrainResult` artifacts,
   keyed by the scenario's training hash, so no configuration is ever
   functionally retrained across sessions;
+* :class:`ResultStore` -- its sibling store (same directory) for completed
+  timing results, keyed by the scenario's full cache key, so finished
+  experiments are replayed instead of re-simulated;
 * :class:`SweepRunner` -- cartesian-product sweep expansion over scenario
   axes, executed across a :mod:`concurrent.futures` process pool with
-  results streamed as they complete.
+  results (including per-scenario failures) streamed as they complete.
 
 The classic :class:`repro.sim.Executor` is a thin facade over this layer;
 see ``docs/experiments.md`` for the full tour.
 """
 
-from .cache import CACHE_VERSION, ProfileCache, default_cache, default_cache_dir
-from .pipeline import benchmark_dataset, clear_memory_caches, is_trained, train_scenario
+from .cache import (
+    CACHE_VERSION,
+    KeyedStore,
+    ProfileCache,
+    ResultStore,
+    default_cache,
+    default_cache_dir,
+    sim_fingerprint,
+)
+from .pipeline import (
+    benchmark_dataset,
+    clear_memory_caches,
+    is_trained,
+    train_scenario,
+    train_scenario_tracked,
+)
 from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, cost_overrides_from
 from .runner import (
     AXIS_NAMES,
@@ -35,7 +52,9 @@ __all__ = [
     "AXIS_NAMES",
     "CACHE_VERSION",
     "DEFAULT_SYSTEMS",
+    "KeyedStore",
     "ProfileCache",
+    "ResultStore",
     "ScenarioSpec",
     "SweepResult",
     "SweepRunner",
@@ -50,5 +69,7 @@ __all__ = [
     "parse_axis_specs",
     "read_axis",
     "run_scenario",
+    "sim_fingerprint",
     "train_scenario",
+    "train_scenario_tracked",
 ]

@@ -1,21 +1,29 @@
-"""Persistent artifact cache for trained profiles.
+"""Persistent keyed stores: trained profiles and timing results.
 
-Trained :class:`~repro.gbdt.trainer.TrainResult` objects (the expensive,
-functional half of every experiment) are stored on disk under a
-content-derived key (:meth:`ScenarioSpec.train_key`), so a configuration is
-functionally trained at most once *ever* -- across benchmark runs, CLI
-invocations, sweep workers, and sessions.
+Two expensive things come out of an experiment and both are cached on disk
+under content-derived keys:
 
-Layout: one ``<key>.pkl`` pickle per artifact under the cache root
-(``results/cache/`` by default, overridable with ``$REPRO_CACHE_DIR``).
+* :class:`ProfileCache` -- trained :class:`~repro.gbdt.trainer.TrainResult`
+  objects (the functional half), pickled under
+  :meth:`ScenarioSpec.train_key`, so a configuration is functionally
+  trained at most once *ever* -- across benchmark runs, CLI invocations,
+  sweep workers, and sessions.
+* :class:`ResultStore` -- timing-result payloads (the simulation half,
+  JSON-serializable dicts), stored under :meth:`ScenarioSpec.cache_key`,
+  so a completed scenario is never re-simulated either.
+
+Both are :class:`KeyedStore` instances sharing one directory
+(``results/cache/`` by default, overridable with ``$REPRO_CACHE_DIR``):
+``<train_key>.pkl`` pickles next to ``<cache_key>.json`` result files.
 Writes are atomic (temp file + rename) so concurrent sweep workers can
-share one directory; unreadable entries are treated as misses.  A process
+share the directory; unreadable entries are treated as misses.  A process
 -local memory layer sits above the disk so repeated lookups return the
 *same* object (the old module-level ``_TRAIN_CACHE`` identity contract).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
@@ -24,17 +32,39 @@ from typing import Any
 
 __all__ = [
     "CACHE_VERSION",
+    "KeyedStore",
     "ProfileCache",
+    "ResultStore",
     "code_fingerprint",
     "default_cache",
     "default_cache_dir",
+    "sim_fingerprint",
 ]
 
 #: Bump to invalidate every on-disk artifact (serialization/trainer layout
 #: changes); the version participates in the content hash.
 CACHE_VERSION = 1
 
+#: ``clear()`` only removes ``*.tmp`` files at least this old: a fresh temp
+#: file may be a concurrent worker's in-flight atomic write in the shared
+#: directory, and unlinking it would turn that worker's success into an
+#: error.  Orphans from killed workers are, by definition, not fresh.
+TMP_SWEEP_AGE_SECONDS = 60.0
+
 _CODE_FINGERPRINT: str | None = None
+_SIM_FINGERPRINT: str | None = None
+
+
+def _hash_packages(*packages) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    for pkg in packages:
+        root = Path(pkg.__file__).parent
+        for p in sorted(root.glob("*.py")):
+            h.update(p.name.encode())
+            h.update(p.read_bytes())
+    return h.hexdigest()[:16]
 
 
 def code_fingerprint() -> str:
@@ -49,18 +79,30 @@ def code_fingerprint() -> str:
     """
     global _CODE_FINGERPRINT
     if _CODE_FINGERPRINT is None:
-        import hashlib
-
         from .. import datasets, gbdt
 
-        h = hashlib.sha256()
-        for pkg in (gbdt, datasets):
-            root = Path(pkg.__file__).parent
-            for p in sorted(root.glob("*.py")):
-                h.update(p.name.encode())
-                h.update(p.read_bytes())
-        _CODE_FINGERPRINT = h.hexdigest()[:16]
+        _CODE_FINGERPRINT = _hash_packages(gbdt, datasets)
     return _CODE_FINGERPRINT
+
+
+def sim_fingerprint() -> str:
+    """Digest of everything that influences a *timing* result.
+
+    Stored timing results depend on the training source *and* the hardware
+    models, cost calibration, mapping engine, and memory system.  The
+    fingerprint is recorded inside every :class:`ResultStore` payload and
+    checked on load, so editing any simulation source auto-invalidates
+    persisted timings the same way :func:`code_fingerprint` invalidates
+    trained artifacts.
+    """
+    global _SIM_FINGERPRINT
+    if _SIM_FINGERPRINT is None:
+        from .. import baselines, core, datasets, gbdt, memory, sim
+
+        _SIM_FINGERPRINT = _hash_packages(
+            gbdt, datasets, baselines, core, memory, sim
+        )
+    return _SIM_FINGERPRINT
 
 
 def default_cache_dir() -> Path:
@@ -68,13 +110,17 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", os.path.join("results", "cache")))
 
 
-class ProfileCache:
-    """Two-level (memory over disk) store for training artifacts.
+class KeyedStore:
+    """Two-level (memory over disk) keyed store; subclasses pick the codec.
 
     ``root=None`` disables the disk layer (memory-only, the behaviour of the
     old in-process dict).  Instances are cheap; every instance pointed at the
-    same directory shares the persistent layer.
+    same directory shares the persistent layer.  Writes are atomic (temp
+    file + rename); a corrupt or truncated entry is a miss, not a crash.
     """
+
+    #: Filename suffix for this store's entries (also what ``clear`` globs).
+    suffix = ".bin"
 
     def __init__(self, root=..., memory: bool = True):
         if root is ...:
@@ -85,10 +131,18 @@ class ProfileCache:
         self.misses = 0
         self.stores = 0
 
+    # -- codec (subclass responsibility) ---------------------------------------
+
+    def _encode(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def _decode(self, raw: bytes) -> Any:
+        raise NotImplementedError
+
     # -- helpers --------------------------------------------------------------
 
     def path(self, key: str) -> Path | None:
-        return self.root / f"{key}.pkl" if self.root is not None else None
+        return self.root / f"{key}{self.suffix}" if self.root is not None else None
 
     def contains(self, key: str) -> bool:
         if self._memory is not None and key in self._memory:
@@ -107,10 +161,9 @@ class ProfileCache:
         p = self.path(key)
         if p is not None and p.is_file():
             try:
-                with open(p, "rb") as fh:
-                    value = pickle.load(fh)
+                value = self._decode(p.read_bytes())
             except Exception:
-                # Truncated/incompatible entry: treat as a miss and retrain.
+                # Truncated/incompatible entry: treat as a miss and recompute.
                 self.misses += 1
                 return None
             if self._memory is not None:
@@ -129,7 +182,7 @@ class ProfileCache:
             fd, tmp = tempfile.mkstemp(dir=p.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(self._encode(value))
                 os.replace(tmp, p)
             except BaseException:
                 if os.path.exists(tmp):
@@ -146,11 +199,68 @@ class ProfileCache:
             p.unlink()
 
     def clear(self) -> None:
+        """Drop every entry, sweep orphaned temp files, reset the counters.
+
+        A SIGKILL'd worker can leave ``*.tmp`` files behind (the atomic-write
+        window); they are garbage and are removed here alongside the real
+        entries -- but only once :data:`TMP_SWEEP_AGE_SECONDS` old, since a
+        fresh temp file may be a live worker's write in flight.  The
+        hit/miss/store counters describe the store's content history, so an
+        emptied store starts them from zero again.
+        """
+        import time
+
         if self._memory is not None:
             self._memory.clear()
         if self.root is not None and self.root.is_dir():
-            for p in self.root.glob("*.pkl"):
+            for p in self.root.glob(f"*{self.suffix}"):
                 p.unlink()
+            cutoff = time.time() - TMP_SWEEP_AGE_SECONDS
+            for p in self.root.glob("*.tmp"):
+                try:
+                    if p.stat().st_mtime <= cutoff:
+                        p.unlink()
+                except FileNotFoundError:
+                    pass  # another clear()/worker already removed it
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+
+class ProfileCache(KeyedStore):
+    """Pickle store for trained artifacts, keyed by ``train_key()``."""
+
+    suffix = ".pkl"
+
+    def _encode(self, value: Any) -> bytes:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _decode(self, raw: bytes) -> Any:
+        return pickle.loads(raw)
+
+
+def _json_default(obj):
+    # NumPy scalars leak into profile summaries; store their Python values.
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+class ResultStore(KeyedStore):
+    """JSON store for timing-result payloads, keyed by ``cache_key()``.
+
+    Values are plain dicts (see :func:`repro.experiments.runner.run_scenario`
+    for the payload shape); JSON keeps the result files human-inspectable
+    and independent of pickle compatibility.
+    """
+
+    suffix = ".json"
+
+    def _encode(self, value: Any) -> bytes:
+        return json.dumps(value, sort_keys=True, default=_json_default).encode()
+
+    def _decode(self, raw: bytes) -> Any:
+        return json.loads(raw)
 
 
 _DEFAULT_CACHE: ProfileCache | None = None

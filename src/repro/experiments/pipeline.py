@@ -22,7 +22,13 @@ from ..gbdt import TrainResult, train
 from .cache import ProfileCache, default_cache
 from .scenario import ScenarioSpec
 
-__all__ = ["benchmark_dataset", "clear_memory_caches", "is_trained", "train_scenario"]
+__all__ = [
+    "benchmark_dataset",
+    "clear_memory_caches",
+    "is_trained",
+    "train_scenario",
+    "train_scenario_tracked",
+]
 
 _DATASET_MEMO: dict[tuple[str, int, int], BinnedDataset] = {}
 #: Benchmarks at the default sim scale are all small; one suite touches at
@@ -51,6 +57,28 @@ def is_trained(scenario: ScenarioSpec, cache: ProfileCache | None = None) -> boo
     return scenario.train_key() in (cache or default_cache())
 
 
+def train_scenario_tracked(
+    scenario: ScenarioSpec, cache: ProfileCache | None = None
+) -> tuple[TrainResult, bool]:
+    """Like :func:`train_scenario`, but also reports cache provenance.
+
+    The second element is True when the artifact came out of the cache and
+    False when this call actually trained.  It is derived from the lookup
+    itself -- not from a separate ``is_trained`` snapshot, which under
+    concurrent sweep workers could observe a sibling's publication between
+    the check and the act and mislabel the provenance.
+    """
+    cache = cache or default_cache()
+    key = scenario.train_key()
+    cached = cache.get(key)
+    if cached is not None:
+        return cached, True
+    data = benchmark_dataset(scenario.dataset, scenario.sim_records, scenario.seed)
+    result = train(data, scenario.train)
+    cache.put(key, result)
+    return result, False
+
+
 def train_scenario(
     scenario: ScenarioSpec, cache: ProfileCache | None = None
 ) -> TrainResult:
@@ -60,15 +88,7 @@ def train_scenario(
     disk layer (persisted across sessions and shared between sweep
     workers), then an actual ``train()`` run whose result is stored back.
     """
-    cache = cache or default_cache()
-    key = scenario.train_key()
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    data = benchmark_dataset(scenario.dataset, scenario.sim_records, scenario.seed)
-    result = train(data, scenario.train)
-    cache.put(key, result)
-    return result
+    return train_scenario_tracked(scenario, cache)[0]
 
 
 def clear_memory_caches() -> None:

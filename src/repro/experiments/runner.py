@@ -1,4 +1,4 @@
-"""Cartesian sweep expansion and the parallel sweep runner.
+"""Cartesian sweep expansion and the fault-tolerant parallel sweep runner.
 
 A sweep is a base :class:`ScenarioSpec` plus named *axes*, each a list of
 values; :func:`expand_axes` produces the cartesian product as concrete
@@ -7,10 +7,19 @@ scenarios.  :class:`SweepRunner` executes them either serially or across a
 the hot path and is pure CPU-bound NumPy, so one process per scenario is
 the right grain -- streaming :class:`SweepResult` objects as they complete.
 
-Workers share the persistent :class:`~repro.experiments.cache.ProfileCache`
-directory: each worker checks the disk before training and publishes its
-artifact atomically, so re-running an identical sweep performs zero
-functional-training calls.
+Workers share two persistent stores (one directory):
+
+* the :class:`~repro.experiments.cache.ProfileCache` of trained artifacts,
+  so re-running an identical sweep performs zero functional-training calls;
+* the :class:`~repro.experiments.cache.ResultStore` of timing results, so a
+  scenario that already completed -- in this run, an earlier run, or an
+  interrupted run -- is served back without re-simulating anything
+  (``SweepResult.stored`` marks that provenance).
+
+Failures are data, not aborts: a raising worker produces a
+``SweepResult(error=...)`` that streams like any other result, and
+scenarios queued behind a failed representative are re-dispatched rather
+than dropped, so one bad point never loses the rest of the sweep.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from typing import Iterable, Iterator, Sequence
 
 from ..sim.calibrate import CostModel
 from ..sim.results import ComparisonResult
-from .cache import ProfileCache, default_cache
+from .cache import CACHE_VERSION, ProfileCache, ResultStore, default_cache, sim_fingerprint
 from .pipeline import is_trained
 from .scenario import _COST_FIELD_NAMES, ScenarioSpec
 
@@ -212,54 +221,173 @@ def parse_axis_specs(specs: Iterable[str]) -> dict[str, list]:
 
 @dataclass
 class SweepResult:
-    """Outcome of one scenario: the comparison plus cache provenance."""
+    """Outcome of one scenario: the comparison plus provenance, or an error.
+
+    Exactly one of ``comparison``/``error`` is set.  A failed scenario is a
+    first-class result (streamed, serialized into manifests) rather than an
+    exception that aborts the sweep; ``stored=True`` marks a timing result
+    served from the persistent :class:`ResultStore` (zero training *and*
+    zero simulation in this run).
+    """
 
     scenario: ScenarioSpec
-    comparison: ComparisonResult
+    comparison: ComparisonResult | None
     cache_hit: bool  # training artifact was served from the cache
-    worker_pid: int  # process that executed the scenario
+    worker_pid: int  # process that executed (or originally executed) it
+    error: str | None = None  # failure description when the scenario raised
+    stored: bool = False  # timing result replayed from the result store
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def booster_speedup(self) -> float:
+        if self.comparison is None:
+            raise ValueError(f"scenario failed, no timing result: {self.error}")
         return self.comparison.speedup("booster")
+
+    def to_dict(self) -> dict:
+        """Manifest/JSONL form; ``from_dict`` round-trips it.
+
+        ``cache_key`` and ``sim_code`` are provenance for manifest consumers
+        (resume bookkeeping and staleness checks); ``from_dict`` ignores
+        them.
+        """
+        return {
+            "cache_key": _scenario_key(self.scenario),
+            "sim_code": sim_fingerprint(),
+            "scenario": self.scenario.to_dict(),
+            "comparison": None if self.comparison is None else self.comparison.to_dict(),
+            "cache_hit": self.cache_hit,
+            "stored": self.stored,
+            "worker_pid": self.worker_pid,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepResult":
+        comparison = d.get("comparison")
+        return cls(
+            scenario=ScenarioSpec.from_dict(d["scenario"]),
+            comparison=None if comparison is None else ComparisonResult.from_dict(comparison),
+            cache_hit=bool(d.get("cache_hit", False)),
+            worker_pid=int(d.get("worker_pid", 0)),
+            error=d.get("error"),
+            stored=bool(d.get("stored", False)),
+        )
+
+
+def _scenario_key(scenario: ScenarioSpec) -> str:
+    """``cache_key()`` with a stable fallback for unkeyable scenarios.
+
+    A scenario whose key cannot be derived (e.g. an unknown dataset name,
+    where resolving the record count raises) must still flow through the
+    runner as an error result, so bookkeeping falls back to the canonical
+    JSON form instead of propagating the exception.
+    """
+    try:
+        return scenario.cache_key()
+    except Exception:
+        return "!" + scenario.to_json()
+
+
+def _error_result(scenario: ScenarioSpec, exc: BaseException) -> SweepResult:
+    return SweepResult(
+        scenario=scenario,
+        comparison=None,
+        cache_hit=False,
+        worker_pid=os.getpid(),
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _stored_result(scenario: ScenarioSpec, results: ResultStore) -> SweepResult | None:
+    """Replay the scenario's timing result from the store, if servable.
+
+    The payload's cache version and simulation-source fingerprint must match
+    the running code; anything else (stale, corrupt, wrong shape) is a miss
+    and the scenario re-simulates.
+    """
+    payload = results.get(scenario.cache_key())
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("version") != CACHE_VERSION or payload.get("code") != sim_fingerprint():
+        return None
+    try:
+        result = SweepResult.from_dict(payload["result"])
+    except Exception:
+        return None
+    if result.error is not None or result.comparison is None:
+        return None
+    # Served without training or simulating: that is this run's provenance.
+    return replace(result, cache_hit=True, stored=True)
 
 
 def run_scenario(
-    scenario: ScenarioSpec, cache: ProfileCache | None = None
+    scenario: ScenarioSpec,
+    cache: ProfileCache | None = None,
+    results: ResultStore | None = None,
 ) -> SweepResult:
-    """Execute one scenario end to end (train -> profile -> all systems)."""
+    """Execute one scenario end to end (train -> profile -> all systems).
+
+    Completed scenarios are served from ``results`` (a :class:`ResultStore`
+    sharing the profile cache's directory by default) without retraining or
+    re-simulating; fresh executions are stored back for the next run.
+    """
     from ..sim.executor import Executor  # lazy: sim.executor is a facade over us
 
     cache = cache or default_cache()
-    hit = is_trained(scenario, cache)
+    if results is None:
+        results = ResultStore(root=cache.root)
+    stored = _stored_result(scenario, results)
+    if stored is not None:
+        return stored
     executor = Executor.from_scenario(scenario, cache=cache)
     comparison = executor.compare(
         scenario.dataset,
         systems=list(scenario.systems),
         extra_scale=scenario.extra_scale,
     )
-    return SweepResult(
+    result = SweepResult(
         scenario=scenario,
         comparison=comparison,
-        cache_hit=hit,
+        cache_hit=bool(executor.last_train_hit),
         worker_pid=os.getpid(),
     )
+    results.put(
+        scenario.cache_key(),
+        {"version": CACHE_VERSION, "code": sim_fingerprint(), "result": result.to_dict()},
+    )
+    return result
 
 
-#: Worker-process cache instances, one per root: pool workers execute many
-#: scenarios, and reusing the cache's memory layer avoids re-unpickling a
-#: shared training artifact once per sibling scenario.
-_WORKER_CACHES: dict[str, ProfileCache] = {}
+#: Worker-process store instances, one per root: pool workers execute many
+#: scenarios, and reusing the memory layers avoids re-unpickling a shared
+#: training artifact (or re-reading a result file) once per sibling.
+_WORKER_CACHES: dict[str | None, ProfileCache] = {}
+_WORKER_RESULT_STORES: dict[str | None, ResultStore] = {}
 
 
-def _run_payload(payload: tuple[dict, str | None]) -> SweepResult:
-    """Process-pool entry point (module-level so it pickles)."""
-    scenario_dict, cache_root = payload
+def _run_payload(payload: tuple[dict, str | None, str | None]) -> SweepResult:
+    """Process-pool entry point (module-level so it pickles).
+
+    Exceptions are captured into error results here, in the worker: the
+    pool stays healthy and the parent never sees a raising future for an
+    ordinary scenario failure.
+    """
+    scenario_dict, cache_root, results_root = payload
     scenario = ScenarioSpec.from_dict(scenario_dict)
     cache = _WORKER_CACHES.get(cache_root)
     if cache is None:
         cache = _WORKER_CACHES[cache_root] = ProfileCache(root=cache_root)
-    return run_scenario(scenario, cache)
+    results = _WORKER_RESULT_STORES.get(results_root)
+    if results is None:
+        results = _WORKER_RESULT_STORES[results_root] = ResultStore(root=results_root)
+    try:
+        return run_scenario(scenario, cache, results)
+    except Exception as exc:
+        return _error_result(scenario, exc)
 
 
 class SweepRunner:
@@ -277,15 +405,27 @@ class SweepRunner:
         cache: ProfileCache | None = None,
         max_workers: int | None = None,
         parallel: bool = True,
+        results: ResultStore | None = None,
     ) -> None:
         self.cache = cache or default_cache()
         self.max_workers = max_workers
         self.parallel = parallel
+        # The result store shares the profile cache's directory by default
+        # (the "sibling store" layout), so tests and CLI runs pointing the
+        # cache somewhere isolated get an equally isolated result store.
+        self.results = results if results is not None else ResultStore(root=self.cache.root)
 
     def _pool_size(self, n_scenarios: int) -> int:
         if self.max_workers is not None:
             return max(1, min(self.max_workers, n_scenarios))
         return max(1, min(n_scenarios, max(os.cpu_count() or 1, 2)))
+
+    def _guarded(self, scenario: ScenarioSpec) -> SweepResult:
+        """Run one scenario in-process, capturing failures as results."""
+        try:
+            return run_scenario(scenario, self.cache, self.results)
+        except Exception as exc:
+            return _error_result(scenario, exc)
 
     def run(self, scenarios: Sequence[ScenarioSpec]) -> Iterator[SweepResult]:
         """Yield results as scenarios complete (completion order).
@@ -295,6 +435,11 @@ class SweepRunner:
         then its siblings fan out as cache hits -- hardware-only sweeps
         (e.g. an ``n_bus`` axis) train each configuration once, not once
         per worker.
+
+        A failing scenario never aborts the sweep: its exception becomes a
+        ``SweepResult(error=...)``, and any siblings queued behind a failed
+        representative are re-dispatched (the first sibling is promoted to
+        representative) so every input scenario produces exactly one result.
         """
         scenarios = list(scenarios)
         if not scenarios:
@@ -304,39 +449,68 @@ class SweepRunner:
         # would retrain per process.  Serial keeps the train-once guarantee.
         if not self.parallel or workers == 1 or self.cache.root is None:
             for scenario in scenarios:
-                yield run_scenario(scenario, self.cache)
+                yield self._guarded(scenario)
             return
         root = str(self.cache.root)
+        results_root = str(self.results.root) if self.results.root is not None else None
 
         def submit(pool, scenario):
-            return pool.submit(_run_payload, (scenario.to_dict(), root))
+            return pool.submit(_run_payload, (scenario.to_dict(), root, results_root))
 
         pool = ProcessPoolExecutor(max_workers=workers)
         pending: dict = {}
         try:
             representative: dict[str, object] = {}  # train_key -> its future
             for scenario in scenarios:
-                key = scenario.train_key()
+                try:
+                    key = scenario.train_key()
+                except Exception as exc:
+                    # Unkeyable (e.g. unknown dataset): report, keep sweeping.
+                    yield _error_result(scenario, exc)
+                    continue
                 rep = representative.get(key)
                 if rep is not None and not is_trained(scenario, self.cache):
                     # Queue behind the in-flight representative for this key.
                     pending[rep].append(scenario)
                 else:
-                    future = submit(pool, scenario)
+                    try:
+                        future = submit(pool, scenario)
+                    except Exception as exc:  # pool unusable (e.g. broken)
+                        yield _error_result(scenario, exc)
+                        continue
                     pending[future] = [scenario]
                     representative.setdefault(key, future)
             while pending:
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     group = pending.pop(future)
-                    result = future.result()
-                    # The artifact now exists on disk: release the siblings
-                    # that were queued behind this representative.
-                    for sibling in group[1:]:
-                        pending[submit(pool, sibling)] = [sibling]
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        # The worker died outright (SIGKILL / broken pool):
+                        # the scenario still gets a structured error result.
+                        result = _error_result(group[0], exc)
+                    siblings = group[1:]
+                    if siblings:
+                        if result.error is None or is_trained(siblings[0], self.cache):
+                            # The artifact exists on disk (the representative
+                            # either succeeded, or failed *after* training
+                            # published it): fan the siblings out in parallel.
+                            dispatch = [[sib] for sib in siblings]
+                        else:
+                            # Representative failed before publishing; promote
+                            # the first sibling, keep the rest queued behind
+                            # it -- nothing is silently dropped.
+                            dispatch = [list(siblings)]
+                        for group_ in dispatch:
+                            try:
+                                pending[submit(pool, group_[0])] = group_
+                            except Exception as exc:
+                                for sib in group_:
+                                    yield _error_result(sib, exc)
                     yield result
         finally:
-            # On abandonment (GeneratorExit) or a worker failure, drop the
+            # On abandonment (GeneratorExit) or interrupt, drop the
             # not-yet-started work instead of blocking on the whole sweep;
             # scenarios queued behind a representative are never submitted.
             for future in pending:
@@ -354,9 +528,9 @@ class SweepRunner:
         scenarios = list(scenarios)
         slots: dict[str, list[int]] = {}
         for i, scenario in enumerate(scenarios):
-            slots.setdefault(scenario.cache_key(), []).append(i)
+            slots.setdefault(_scenario_key(scenario), []).append(i)
         for result in self.run(scenarios):
-            yield slots[result.scenario.cache_key()].pop(0), result
+            yield slots[_scenario_key(result.scenario)].pop(0), result
 
     def run_all(self, scenarios: Sequence[ScenarioSpec]) -> list[SweepResult]:
         """All results, reordered to match the input scenario order."""

@@ -14,7 +14,12 @@ Two content hashes are derived from the canonical JSON form:
   ``TrainParams`` fields) -- the key under which trained artifacts are
   cached and shared between scenarios that differ only in hardware knobs;
 * :meth:`ScenarioSpec.cache_key` covers the whole scenario and identifies
-  the experiment itself (sweep bookkeeping, result files).
+  the experiment itself -- sweep bookkeeping, JSONL manifests, and the key
+  under which the persistent :class:`~repro.experiments.cache.ResultStore`
+  replays completed timing results.  Code fingerprints are deliberately
+  *not* part of this key; the result store records the simulation-source
+  fingerprint inside each payload and validates it on load instead, so the
+  key stays stable for resume bookkeeping while stale timings still miss.
 
 Hashes are SHA-256 over a canonical JSON encoding, so they are stable
 across processes, sessions, and ``PYTHONHASHSEED`` values.

@@ -36,7 +36,7 @@ from ..core import BoosterConfig, BoosterEngine
 from ..datasets import BENCHMARK_NAMES
 from ..datasets.encoding import BinnedDataset
 from ..experiments.cache import ProfileCache, default_cache
-from ..experiments.pipeline import benchmark_dataset, train_scenario
+from ..experiments.pipeline import benchmark_dataset, train_scenario_tracked
 from ..experiments.scenario import ScenarioSpec, cost_overrides_from
 from ..gbdt import EnsemblePredictor, TrainParams, TrainResult, WorkProfile
 from ..memory.profile import BandwidthProfile, bandwidth_profile
@@ -98,6 +98,9 @@ class Executor:
         self._cache = self.cache if self.cache is not None else default_cache()
         self._bandwidth: BandwidthProfile = bandwidth_profile()
         self._models = self._build_models()
+        #: Provenance of the most recent train_result call: True = cache hit,
+        #: False = this executor trained, None = no training requested yet.
+        self.last_train_hit: bool | None = None
 
     # -- scenario bridge ---------------------------------------------------------
 
@@ -181,7 +184,9 @@ class Executor:
         return benchmark_dataset(dataset, self.sim_records, self.seed)
 
     def train_result(self, dataset: str) -> TrainResult:
-        return train_scenario(self.scenario(dataset), cache=self._cache)
+        result, hit = train_scenario_tracked(self.scenario(dataset), cache=self._cache)
+        self.last_train_hit = hit
+        return result
 
     def profile(self, dataset: str, extra_scale: float = 1.0) -> WorkProfile:
         """Paper-scale work profile (records x ``extra_scale``, 500 trees)."""

@@ -1,4 +1,10 @@
-"""Result containers and speedup arithmetic for the experiments."""
+"""Result containers and speedup arithmetic for the experiments.
+
+Both containers are JSON round-trippable (``to_dict``/``from_dict``): the
+experiments layer's persistent :class:`~repro.experiments.cache.ResultStore`
+and the ``repro sweep --out`` JSONL manifests serialize them so a timing
+result survives the process that produced it.
+"""
 
 from __future__ import annotations
 
@@ -16,7 +22,7 @@ def geomean(values) -> float:
     """Geometric mean (the paper's aggregate for Fig. 7/12/13)."""
     vals = [float(v) for v in values]
     if not vals:
-        return 0.0
+        raise ValueError("geometric mean of an empty sequence is undefined")
     if any(v <= 0 for v in vals):
         raise ValueError("geometric mean requires positive values")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
@@ -31,22 +37,53 @@ class ComparisonResult:
     profile_summary: dict = field(default_factory=dict)
     baseline: str = "ideal-32-core"
 
+    def _times(self, system: str) -> StepTimes:
+        try:
+            return self.systems[system]
+        except KeyError:
+            raise ValueError(
+                f"system {system!r} is not part of this comparison "
+                f"(have: {sorted(self.systems)})"
+            ) from None
+
     def seconds(self, system: str) -> float:
-        return self.systems[system].total
+        return self._times(system).total
 
     def speedup(self, system: str, over: str | None = None) -> float:
         """Speedup of ``system`` over the baseline (Fig. 7's Y-axis)."""
-        base = self.systems[over or self.baseline].total
-        mine = self.systems[system].total
+        base = self._times(over or self.baseline).total
+        mine = self._times(system).total
         if mine <= 0:
             raise ValueError(f"non-positive time for {system!r}")
         return base / mine
 
     def normalized_breakdown(self, system: str) -> dict[str, float]:
         """Per-step times normalized to the baseline total (Fig. 8's Y-axis)."""
-        base = self.systems[self.baseline].total
-        d = self.systems[system].as_dict()
+        base = self._times(self.baseline).total
+        d = self._times(system).as_dict()
         return {k: v / base for k, v in d.items()}
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form; ``from_dict`` round-trips it."""
+        return {
+            "dataset": self.dataset,
+            "baseline": self.baseline,
+            "systems": {name: st.as_dict() for name, st in self.systems.items()},
+            "profile_summary": dict(self.profile_summary),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ComparisonResult":
+        from ..baselines.base import StepTimes
+
+        return cls(
+            dataset=d["dataset"],
+            systems={
+                name: StepTimes.from_dict(st) for name, st in d["systems"].items()
+            },
+            profile_summary=dict(d.get("profile_summary", {})),
+            baseline=d.get("baseline", "ideal-32-core"),
+        )
 
     def table(self) -> str:
         """Human-readable comparison table."""
@@ -55,6 +92,10 @@ class ComparisonResult:
         headers = ["system", "total (s)", "step1", "step2", "step3", "step5", "other", "speedup"]
         rows = []
         for name, st in self.systems.items():
+            if self.baseline in self.systems:
+                speedup_cell = f"{self.speedup(name):.2f}x"
+            else:
+                speedup_cell = "-"
             rows.append(
                 [
                     name,
@@ -64,7 +105,7 @@ class ComparisonResult:
                     f"{st.step3:.3g}",
                     f"{st.step5:.3g}",
                     f"{st.other:.3g}",
-                    f"{self.speedup(name):.2f}x",
+                    speedup_cell,
                 ]
             )
         return render_table(headers, rows, title=f"dataset: {self.dataset}")
@@ -78,5 +119,29 @@ class InferenceResult:
     seconds: dict[str, float]
     baseline: str = "ideal-32-core"
 
+    def _seconds(self, system: str) -> float:
+        try:
+            return self.seconds[system]
+        except KeyError:
+            raise ValueError(
+                f"system {system!r} is not part of this comparison "
+                f"(have: {sorted(self.seconds)})"
+            ) from None
+
     def speedup(self, system: str) -> float:
-        return self.seconds[self.baseline] / self.seconds[system]
+        return self._seconds(self.baseline) / self._seconds(system)
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "baseline": self.baseline,
+            "seconds": dict(self.seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "InferenceResult":
+        return cls(
+            dataset=d["dataset"],
+            seconds={name: float(v) for name, v in d["seconds"].items()},
+            baseline=d.get("baseline", "ideal-32-core"),
+        )

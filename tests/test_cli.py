@@ -92,10 +92,11 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "scenario sweep (2 scenarios)" in out
         assert out.count("[trained]") == 2
-        # Identical sweep again: served entirely from the cache.
+        # Identical sweep again: timing results replayed from the result
+        # store -- zero retraining AND zero re-simulation.
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert out.count("[cache hit]") == 2
+        assert out.count("[stored]") == 2
         assert "[trained]" not in out
 
     def test_sweep_duplicate_axis_values_keep_rows(self, capsys, monkeypatch, tmp_path):
@@ -113,6 +114,160 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "scenario sweep (2 scenarios)" in out
+
+    def _isolate_cache(self, monkeypatch, tmp_path):
+        import repro.experiments.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+
+    SWEEP_ARGV = [
+        "sweep",
+        "--trees", "2",
+        "--serial",
+        "--dataset", "mq2008",
+        "--axis", "max_depth=2,3",
+        "--systems", "ideal-32-core", "booster",
+    ]
+
+    def test_sweep_out_writes_jsonl_manifest(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "sweeps" / "m.jsonl"
+        assert main(self.SWEEP_ARGV + ["--out", str(manifest)]) == 0
+        lines = [json.loads(l) for l in manifest.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(l["error"] is None for l in lines)
+        assert all(l["comparison"]["systems"]["booster"]["total"] > 0 for l in lines)
+        assert {l["scenario"]["train"]["max_depth"] for l in lines} == {2, 3}
+
+    def test_sweep_resume_runs_only_missing(self, capsys, monkeypatch, tmp_path):
+        """Interrupt-and-resume: the missing scenario is re-executed with
+        zero training and zero simulation (replayed from the result store)."""
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        lines = manifest.read_text().splitlines()
+        manifest.write_text(lines[0] + "\n")  # simulate an interrupted run
+
+        def boom(*a, **k):
+            raise AssertionError("resumed run retrained or re-simulated")
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", boom)
+        monkeypatch.setattr("repro.sim.executor.Executor.from_scenario", boom)
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: 1/2 scenarios already in" in out
+        assert out.count("[stored]") == 1
+        assert "resumed" in out  # the manifest-served row's provenance
+        recovered = [json.loads(l) for l in manifest.read_text().splitlines()]
+        assert len(recovered) == 2
+        assert recovered[1]["stored"] is True and recovered[1]["error"] is None
+
+    def test_sweep_failure_streams_error_and_resume_retries(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A failing scenario streams a structured error line (exit code 1)
+        without aborting the sweep; --resume re-runs only the failed one."""
+        import json
+
+        from repro.gbdt import train as real_train
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+
+        def flaky(data, params):
+            if params.max_depth == 3:
+                raise RuntimeError("injected trainer fault")
+            return real_train(data, params)
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", flaky)
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out and "injected trainer fault" in captured.out
+        assert "1 scenario(s) failed" in captured.err
+        lines = [json.loads(l) for l in manifest.read_text().splitlines()]
+        assert len(lines) == 2  # the good scenario still completed + streamed
+        assert sorted(l["error"] is None for l in lines) == [False, True]
+
+        # Heal the trainer; resume re-runs exactly the failed scenario.
+        monkeypatch.setattr("repro.experiments.pipeline.train", real_train)
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: 1/2 scenarios already in" in out
+        lines = [json.loads(l) for l in manifest.read_text().splitlines()]
+        assert len(lines) == 3  # appended, not rewritten
+        assert lines[-1]["error"] is None
+        assert lines[-1]["scenario"]["train"]["max_depth"] == 3
+
+    def test_sweep_resume_requires_out(self, capsys):
+        assert main(["sweep", "--axis", "seed=1", "--resume", "--trees", "2"]) == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_sweep_resume_skips_stale_sim_fingerprint_lines(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """Manifest lines recorded under different simulation source must
+        not be replayed as current results: they re-run instead."""
+        import repro.experiments.cache as cache_mod
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Pretend the simulation source changed since the manifest was
+        # written (also invalidates the result store, so everything re-runs).
+        monkeypatch.setattr(cache_mod, "_SIM_FINGERPRINT", "feedfacefeedface")
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume:" not in out  # nothing was considered resumable
+        assert out.count("[cache hit]") == 2  # re-simulated, training cached
+
+    def test_sweep_out_requires_axes(self, capsys, tmp_path):
+        assert main(["sweep", "--trees", "2", "--out", str(tmp_path / "m.jsonl")]) == 2
+        assert "--out/--resume apply to axis sweeps" in capsys.readouterr().err
+
+    def test_sweep_resume_rejects_refresh(self, capsys, tmp_path):
+        """--refresh forces recomputation, --resume skips completed work:
+        accepting both would silently replay the manifest (stale timings)."""
+        argv = self.SWEEP_ARGV + [
+            "--out", str(tmp_path / "m.jsonl"), "--resume", "--refresh"
+        ]
+        assert main(argv) == 2
+        assert "contradictory" in capsys.readouterr().err
+
+    def test_sweep_resume_terminates_partial_manifest_line(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A run killed mid-write leaves a final line without a newline; the
+        appended resume lines must not fuse with that garbage."""
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        lines = manifest.read_text().splitlines()
+        # First line intact, second line cut mid-JSON with no trailing newline.
+        manifest.write_text(lines[0] + "\n" + lines[1][:40])
+        assert main(argv + ["--resume"]) == 0
+        parsed = []
+        for line in manifest.read_text().splitlines():
+            try:
+                parsed.append(json.loads(line))
+            except ValueError:
+                continue  # the tolerated partial-line garbage
+        assert len(parsed) == 2  # original + appended, none fused
+        assert parsed[-1]["error"] is None
+        assert parsed[-1]["scenario"]["train"]["max_depth"] == 3
 
     def test_sweep_bad_axis(self, capsys):
         assert main(["sweep", "--axis", "bogus=1", "--trees", "2"]) == 2

@@ -1,7 +1,8 @@
-"""Tests for the experiments layer: scenarios, persistent cache, sweeps."""
+"""Tests for the experiments layer: scenarios, persistent stores, sweeps."""
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import pathlib
@@ -14,7 +15,9 @@ import pytest
 from repro.core import BoosterConfig
 from repro.experiments import (
     ProfileCache,
+    ResultStore,
     ScenarioSpec,
+    SweepResult,
     SweepRunner,
     apply_axis,
     expand_axes,
@@ -188,6 +191,42 @@ class TestProfileCache:
         assert cache.path("k") is None
         result = train_scenario(TINY, cache)
         assert train_scenario(TINY, cache) is result
+
+    def test_clear_sweeps_orphaned_tmp_and_resets_counters(self, tmp_path):
+        """A SIGKILL'd worker can abandon *.tmp files mid-atomic-write;
+        clear() must remove them (once stale) and zero the counters."""
+        cache = ProfileCache(root=tmp_path)
+        train_scenario(TINY, cache)
+        orphan = tmp_path / "abandoned1234.tmp"
+        orphan.write_bytes(b"partial write")
+        os.utime(orphan, (0, 0))  # ancient: unambiguously not in flight
+        assert cache.misses == 1 and cache.stores == 1
+        cache.clear()
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert (cache.hits, cache.misses, cache.stores) == (0, 0, 0)
+        # And the cleared store behaves like a cold one.
+        assert not cache.contains(TINY.train_key())
+
+    def test_clear_spares_fresh_tmp_files(self, tmp_path):
+        """A just-written *.tmp may be a concurrent worker's atomic write in
+        flight; clear() must not clobber it."""
+        cache = ProfileCache(root=tmp_path)
+        in_flight = tmp_path / "live5678.tmp"
+        in_flight.write_bytes(b"concurrent worker writing")
+        cache.clear()
+        assert in_flight.exists()
+
+    def test_clear_does_not_touch_sibling_result_files(self, tmp_path):
+        """ProfileCache.clear() and ResultStore.clear() share a directory
+        but own different suffixes (plus the orphaned *.tmp garbage)."""
+        cache = ProfileCache(root=tmp_path)
+        results = ResultStore(root=tmp_path)
+        cache.put("tdeadbeef", {"k": 1})
+        results.put("sdeadbeef", {"k": 2})
+        cache.clear()
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert ResultStore(root=tmp_path).get("sdeadbeef") == {"k": 2}  # off disk
 
 
 class TestSweepExpansion:
@@ -402,6 +441,163 @@ class TestSweepRunner:
         assert set(result.comparison.systems) == {"ideal-32-core", "booster"}
         assert result.booster_speedup > 1.0
         assert result.scenario == TINY
+
+
+def _tripwire(message):
+    def boom(*a, **k):
+        raise AssertionError(message)
+
+    return boom
+
+
+class TestResultStore:
+    def test_run_scenario_stores_then_replays(self, tmp_path, monkeypatch):
+        """A completed scenario is served from the result store with zero
+        functional-training AND zero simulation calls."""
+        first = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert not first.stored and first.ok
+        monkeypatch.setattr(
+            "repro.experiments.pipeline.train", _tripwire("train() despite stored result")
+        )
+        monkeypatch.setattr(
+            "repro.sim.executor.Executor.from_scenario",
+            _tripwire("simulated despite stored result"),
+        )
+        second = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert second.stored and second.cache_hit and second.ok
+        assert second.scenario == first.scenario
+        assert {k: v.as_dict() for k, v in second.comparison.systems.items()} == {
+            k: v.as_dict() for k, v in first.comparison.systems.items()
+        }
+
+    def test_sim_code_change_invalidates_stored_results(self, tmp_path, monkeypatch):
+        """Editing simulation source must not replay stale timings: the
+        stored payload records a sim fingerprint checked on load."""
+        import repro.experiments.cache as cache_mod
+
+        run_scenario(TINY, ProfileCache(root=tmp_path))
+        monkeypatch.setattr(cache_mod, "_SIM_FINGERPRINT", "feedfacefeedface")
+        again = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert not again.stored  # recomputed, not replayed
+
+    def test_corrupt_stored_result_is_miss(self, tmp_path):
+        first = run_scenario(TINY, ProfileCache(root=tmp_path))
+        store = ResultStore(root=tmp_path)
+        store.path(TINY.cache_key()).write_bytes(b"not json {")
+        again = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert not again.stored and again.ok
+        assert {k: v.as_dict() for k, v in again.comparison.systems.items()} == {
+            k: v.as_dict() for k, v in first.comparison.systems.items()
+        }
+
+    def test_sweep_result_json_roundtrip(self, tmp_path):
+        result = run_scenario(TINY, ProfileCache(root=tmp_path))
+        line = json.dumps(result.to_dict())  # plain json, as the manifest writes
+        again = SweepResult.from_dict(json.loads(line))
+        assert again.scenario == result.scenario
+        assert again.comparison == result.comparison
+        assert again.cache_hit == result.cache_hit
+        assert again.worker_pid == result.worker_pid
+        assert again.error is None and result.error is None
+
+    def test_error_result_json_roundtrip(self, tmp_path):
+        bad = replace(TINY, systems=("no-such-system",))
+        (result,) = SweepRunner(
+            cache=ProfileCache(root=tmp_path), parallel=False
+        ).run_all([bad])
+        assert result.error is not None and result.comparison is None
+        again = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert again.error == result.error
+        assert again.comparison is None
+        assert again.scenario == bad
+        with pytest.raises(ValueError, match="failed"):
+            again.booster_speedup
+
+
+class TestFaultTolerance:
+    def test_serial_sweep_survives_failing_scenario(self, tmp_path):
+        """One bad scenario yields a structured error; the rest complete."""
+        bad = replace(TINY, systems=("no-such-system",))
+        scenarios = [expand_axes(TINY, {"n_bus": [1600]})[0], bad, TINY]
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), parallel=False
+        ).run_all(scenarios)
+        assert len(results) == 3
+        assert [r.error is not None for r in results] == [False, True, False]
+        assert "no-such-system" in results[1].error
+        # Failed scenarios are never persisted: a later run re-executes them.
+        assert ResultStore(root=tmp_path).get(bad.cache_key()) is None
+
+    def test_parallel_failed_representative_releases_siblings(self, tmp_path):
+        """Scenarios queued behind a failed representative are re-dispatched
+        (promoted), not silently dropped with the old future.result() abort."""
+        bad = replace(TINY, systems=("no-such-system",))
+        good = expand_axes(TINY, {"n_bus": [1600, 3200, 6400]})
+        scenarios = [bad, *good]  # all four share one train key; bad leads
+        assert len({s.train_key() for s in scenarios}) == 1
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), max_workers=2
+        ).run_all(scenarios)
+        assert len(results) == 4
+        errors = [r for r in results if r.error is not None]
+        assert len(errors) == 1 and errors[0].scenario == bad
+        assert all(r.comparison is not None for r in results if r.error is None)
+
+    def test_parallel_pretrain_failure_promotes_every_sibling(
+        self, tmp_path, monkeypatch
+    ):
+        """When the representative dies before publishing the artifact, the
+        promotion chain gives every queued sibling its own error result."""
+        if multiprocessing.get_start_method() != "fork":  # pragma: no cover
+            pytest.skip("tripwire inheritance requires fork start method")
+
+        def boom(data, params):
+            raise RuntimeError("trainer exploded")
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", boom)
+        scenarios = expand_axes(TINY, {"n_bus": [1600, 3200, 6400]})
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), max_workers=2
+        ).run_all(scenarios)
+        assert len(results) == 3
+        assert all(r.error is not None and "trainer exploded" in r.error for r in results)
+
+    def test_parallel_unkeyable_scenario_reports_error(self, tmp_path):
+        """A scenario whose cache key cannot even be derived (unknown
+        dataset) becomes an error result instead of crashing the runner."""
+        bad = replace(TINY, dataset="not-a-benchmark")
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), max_workers=2
+        ).run_all([bad, TINY])
+        assert len(results) == 2
+        by_ok = {r.error is None: r for r in results}
+        assert by_ok[False].scenario == bad
+        assert by_ok[True].scenario == TINY
+
+    def test_resume_runs_zero_train_zero_simulate(self, tmp_path, monkeypatch):
+        """The acceptance criterion: re-running a completed sweep touches
+        neither the trainer nor the simulator."""
+        scenarios = expand_axes(TINY, {"max_depth": [2, 3]})
+        first = SweepRunner(cache=ProfileCache(root=tmp_path), parallel=False).run_all(
+            scenarios
+        )
+        assert all(r.ok and not r.stored for r in first)
+        monkeypatch.setattr(
+            "repro.experiments.pipeline.train", _tripwire("train() on resumed sweep")
+        )
+        monkeypatch.setattr(
+            "repro.sim.executor.Executor.from_scenario",
+            _tripwire("simulated on resumed sweep"),
+        )
+        second = SweepRunner(cache=ProfileCache(root=tmp_path), parallel=False).run_all(
+            scenarios
+        )
+        assert all(r.stored and r.cache_hit and r.ok for r in second)
+        for a, b in zip(first, second):
+            assert a.scenario == b.scenario
+            assert {k: v.as_dict() for k, v in a.comparison.systems.items()} == {
+                k: v.as_dict() for k, v in b.comparison.systems.items()
+            }
 
 
 class TestExecutorFacade:

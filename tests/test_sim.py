@@ -51,8 +51,10 @@ class TestGeomean:
     def test_known_value(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
 
-    def test_empty(self):
-        assert geomean([]) == 0.0
+    def test_empty_rejected(self):
+        # A silent 0.0 used to poison downstream speedup aggregates.
+        with pytest.raises(ValueError, match="empty"):
+            geomean([])
 
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
@@ -98,6 +100,46 @@ class TestComparisonResult:
     def test_table_renders(self):
         text = self.make().table()
         assert "booster" in text and "10.00x" in text
+
+    def test_missing_system_is_clear_value_error(self):
+        """Regression: a custom system list used to crash with a bare
+        KeyError when the default baseline or booster was omitted."""
+        cmp = ComparisonResult(
+            dataset="d", systems={"sequential": StepTimes(step1=1.0)}
+        )
+        with pytest.raises(ValueError, match="'ideal-32-core'.*sequential"):
+            cmp.speedup("booster")  # the default baseline is resolved first
+        with pytest.raises(ValueError, match="'booster'.*sequential"):
+            cmp.speedup("booster", over="sequential")
+        with pytest.raises(ValueError, match="'ideal-32-core'"):
+            cmp.normalized_breakdown("sequential")
+        with pytest.raises(ValueError, match="'ideal-32-core'"):
+            cmp.seconds("ideal-32-core")
+
+    def test_table_renders_without_baseline(self):
+        cmp = ComparisonResult(
+            dataset="d", systems={"sequential": StepTimes(step1=1.0)}
+        )
+        assert "sequential" in cmp.table()
+
+    def test_dict_roundtrip(self):
+        cmp = self.make()
+        cmp.profile_summary = {"records": 100, "trees": 6}
+        again = ComparisonResult.from_dict(cmp.to_dict())
+        assert again == cmp
+
+    def test_inference_result_roundtrip_and_missing_system(self):
+        from repro.sim import InferenceResult
+
+        inf = InferenceResult(dataset="d", seconds={"ideal-32-core": 2.0, "booster": 0.5})
+        assert InferenceResult.from_dict(inf.to_dict()) == inf
+        assert inf.speedup("booster") == pytest.approx(4.0)
+        with pytest.raises(ValueError, match="'gpu'"):
+            inf.speedup("gpu")
+
+    def test_steptimes_dict_roundtrip(self):
+        st = StepTimes(step1=1.25, step2=2.5, step3=0.125, step5=4.0, other=0.5)
+        assert StepTimes.from_dict(st.as_dict()) == st
 
 
 class TestReport:
