@@ -10,6 +10,10 @@ Installed as the ``repro`` console script::
     repro sweep --dataset higgs         # accelerator design space
     repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl
     repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl --resume
+    repro sweep --axis seed=1,2,3 --shard 1/2 --out shard1.jsonl  # host 1 of 2
+    repro merge merged.jsonl shard1.jsonl shard2.jsonl  # union shard manifests
+    repro report --from-manifest merged.jsonl           # render, zero re-runs
+    repro cache export warm.tar --axis seed=1,2,3       # seed a cold host
     repro validate                      # full reproduction claim checklist
 """
 
@@ -26,12 +30,18 @@ examples:
   repro sweep --axis n_bus=1600,3200 --axis dataset=higgs,flight
   repro sweep --axis seed=1,2,3 --out results/sweeps/seeds.jsonl
   repro sweep --axis seed=1,2,3 --out results/sweeps/seeds.jsonl --resume
+  repro sweep --axis seed=1,2,3 --shard 2/2 --out shard2.jsonl
+  repro merge merged.jsonl shard1.jsonl shard2.jsonl
+  repro report --from-manifest merged.jsonl
 
 Sweeps stream one JSONL line per scenario to --out as results complete
 (failures included, as structured error lines); --resume skips every
 scenario with a successful line in the manifest, and the persistent result
 store (results/cache/ or $REPRO_CACHE_DIR) replays completed timings with
-zero retraining and zero re-simulation.
+zero retraining and zero re-simulation.  --shard K/N deterministically
+partitions the expanded scenario list across N hosts; `repro merge` unions
+the per-shard manifests back into one, and `repro report --from-manifest`
+renders it without running anything.
 """
 
 from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
@@ -147,6 +157,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --out: skip scenarios that already have a successful line "
         "in the manifest and run only the missing/failed ones",
     )
+    p_sweep.add_argument(
+        "--shard",
+        metavar="K/N",
+        default=None,
+        help="run only shard K of an N-way deterministic partition of the "
+        "expanded scenario list (1-based; every host derives the same "
+        "partition, so N hosts each running one shard cover the sweep "
+        "exactly once)",
+    )
+    p_sweep.add_argument(
+        "--inference",
+        action="store_true",
+        help="measure batch inference (Fig. 13) instead of training times; "
+        "results persist in their own result-store namespace",
+    )
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="union sweep shard manifests into one manifest",
+        description="Merge JSONL sweep manifests (e.g. one per --shard host) "
+        "into OUT: lines are deduped by scenario cache_key, successful lines "
+        "are preferred over error lines, and manifests recorded under "
+        "different simulation source (sim_code) or different sweep kinds "
+        "are rejected rather than silently mixed.  Nothing is retrained or "
+        "re-simulated.",
+    )
+    p_merge.add_argument("out", help="merged manifest to write")
+    p_merge.add_argument("inputs", nargs="+", help="shard manifests to union")
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a sweep comparison table from a manifest (zero re-runs)",
+        description="Render the comparison table for a sweep manifest "
+        "(typically the output of `repro merge`): axes are inferred from "
+        "the scenarios, rows keep their recorded provenance, and nothing "
+        "is trained or simulated.",
+    )
+    p_report.add_argument(
+        "--from-manifest",
+        metavar="PATH",
+        required=True,
+        dest="from_manifest",
+        help="JSONL sweep manifest to render",
+    )
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="export/import persistent store entries between hosts",
+        description="Move `results/cache/` entries (trained-profile pickles "
+        "and stored results) between hosts, so a warm host can seed cold "
+        "sweep shards.",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cexp = cache_sub.add_parser(
+        "export",
+        parents=[common],
+        help="tar up cache entries (optionally filtered to one sweep's keys)",
+    )
+    p_cexp.add_argument("archive", help="tar file to write")
+    p_cexp.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
+    p_cexp.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="restrict the export to this sweep's scenarios (repeatable); "
+        "without --axis every store entry is exported",
+    )
+    p_cexp.add_argument(
+        "--systems", nargs="*", default=None, help="systems of the target sweep"
+    )
+    p_cimp = cache_sub.add_parser(
+        "import", help="unpack a `repro cache export` archive into the store"
+    )
+    p_cimp.add_argument("archive", help="tar file to read")
 
     sub.add_parser(
         "validate", parents=[common], help="run the reproduction claim checklist"
@@ -200,18 +285,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_inference(args: argparse.Namespace) -> int:
     ex = Executor(sim_trees=args.trees, seed=args.seed)
-    result = ex.inference(args.dataset)
-    rows = [
-        [system, f"{seconds * 1e3:.2f} ms", f"{result.speedup(system):.1f}x"]
-        for system, seconds in result.seconds.items()
-    ]
-    print(
-        render_table(
-            ["system", "batch time", "speedup"],
-            rows,
-            title=f"batch inference: {args.dataset} (500 trees)",
-        )
-    )
+    print(ex.inference(args.dataset).table())
     return 0
 
 
@@ -231,31 +305,34 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.axis:
         return _cmd_sweep_axes(args)
-    if args.out or args.resume:
+    if args.out or args.resume or args.shard or args.inference:
         # Silently ignoring these would leave a scripted caller waiting on a
-        # manifest that never appears.
+        # manifest that never appears (or a shard that never ran).
         print(
-            "--out/--resume apply to axis sweeps; add at least one "
-            "--axis NAME=V1,V2,...",
+            "--out/--resume/--shard/--inference apply to axis sweeps; add "
+            "at least one --axis NAME=V1,V2,...",
             file=sys.stderr,
         )
         return 2
     return _cmd_sweep_design_space(args)
 
 
-def _resumable_results(path: pathlib.Path):
+def _resumable_results(path: pathlib.Path, mode: str = "compare"):
     """Parse a JSONL sweep manifest into ``(cache_key, SweepResult)`` pairs
     that are safe to resume from.
 
     Corrupt/partial lines are skipped (an interrupted run can leave a
     truncated final line; tolerating it is what makes ``--resume`` safe
-    after any kind of crash), and so are failed results and lines whose
-    recorded ``sim_code`` does not match the running simulation source --
-    replaying a pre-edit timing as current would silently mix stale rows
-    into the sweep.  Skipped scenarios simply re-run.
+    after any kind of crash), and so are failed results, lines of a
+    different sweep kind (a compare manifest cannot resume an inference
+    sweep), and lines whose recorded ``sim_code`` does not match the
+    running simulation source -- replaying a pre-edit timing as current
+    would silently mix stale rows into the sweep.  Skipped scenarios
+    simply re-run.
     """
     from .experiments import SweepResult, sim_fingerprint
 
+    payload_field = "inference" if mode == "inference" else "comparison"
     pairs = []
     for line in path.read_text().splitlines():
         line = line.strip()
@@ -263,7 +340,9 @@ def _resumable_results(path: pathlib.Path):
             continue
         try:
             d = json.loads(line)
-            if d.get("error") is not None or d.get("comparison") is None:
+            if d.get("kind", "compare") != mode:
+                continue
+            if d.get("error") is not None or d.get(payload_field) is None:
                 continue
             if d.get("sim_code") != sim_fingerprint():
                 continue
@@ -275,12 +354,125 @@ def _resumable_results(path: pathlib.Path):
     return pairs
 
 
+def _manifest_entries(path: pathlib.Path):
+    """Every parseable ``SweepResult`` line of a manifest (errors included).
+
+    Returns ``(entries, skipped)`` where ``entries`` are ``(raw_dict,
+    SweepResult)`` pairs in file order and ``skipped`` counts corrupt or
+    partial lines (tolerated, as everywhere else manifests are read).
+    """
+    from .experiments import SweepResult
+
+    entries, skipped = [], 0
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+            entries.append((d, SweepResult.from_dict(d)))
+        except Exception:
+            skipped += 1
+    return entries, skipped
+
+
+def _line_is_success(d: dict) -> bool:
+    payload = d.get("comparison")
+    if payload is None:
+        payload = d.get("inference")
+    return d.get("error") is None and payload is not None
+
+
+def _dedupe_manifest_lines(pairs):
+    """Collapse manifest lines to one winner per ``(kind, cache_key)``.
+
+    Manifests append chronologically (``--resume`` re-runs are written
+    after the lines they supersede), so later lines win -- except an error
+    line never replaces a success.  Across files the same rule applies in
+    input order: list the freshest manifest last.  The two sweep kinds
+    never collapse into each other (they are different measurements of the
+    same scenario, not retries).  Returns ``(winners, order, collapsed)``
+    where ``order`` is first-appearance order of the surviving keys.
+    """
+    best: dict[tuple, dict] = {}
+    order: list[tuple] = []
+    collapsed = 0
+    for key, d in pairs:
+        key = (d.get("kind", "compare"), key)
+        if key not in best:
+            best[key] = d
+            order.append(key)
+            continue
+        collapsed += 1
+        if _line_is_success(d) or not _line_is_success(best[key]):
+            best[key] = d
+    return best, order, collapsed
+
+
 def _provenance(result) -> str:
     if result.error is not None:
         return "error"
     if result.stored:
         return "stored"
     return "hit" if result.cache_hit else "trained"
+
+
+def _metric_cells(result) -> list[str]:
+    """The ``[booster time, speedup]`` table cells for one sweep result.
+
+    Compare results report training seconds, inference results report
+    batch milliseconds; either way a missing booster system or baseline
+    renders as ``-`` instead of raising.
+    """
+    payload = result.payload
+    if result.kind == "inference":
+        seconds = payload.seconds if payload is not None else {}
+        metric = f"{seconds['booster'] * 1e3:.4g}" if "booster" in seconds else "-"
+    else:
+        seconds = payload.systems if payload is not None else {}
+        metric = f"{seconds['booster'].total:.4g}" if "booster" in seconds else "-"
+    if payload is not None and "booster" in seconds and payload.baseline in seconds:
+        speedup = f"{payload.speedup('booster'):.2f}x"
+    else:
+        speedup = "-"
+    return [metric, speedup]
+
+
+def _metric_header(mode: str) -> str:
+    return "booster (ms)" if mode == "inference" else "booster (s)"
+
+
+def _infer_axes(scenarios) -> list[str]:
+    """The axes along which ``scenarios`` actually vary (for ``report``).
+
+    Manifests do not record the sweep's axis declarations, so the report
+    derives them: every canonical axis (plus any cost field some scenario
+    overrides) that takes more than one value across the scenarios becomes
+    a table column.  When clusters vary but the cluster width does not,
+    the derived ``n_bus`` axis is shown instead of ``n_clusters`` -- BUs
+    are the paper's design-space unit.
+    """
+    from .experiments import CANONICAL_AXES, read_axis
+
+    # n_bus is derived from n_clusters x bus_per_cluster; the base axes are
+    # scanned and the substitution below picks the better label.
+    candidates = [name for name in CANONICAL_AXES if name != "n_bus"]
+    candidates += sorted(
+        {name for s in scenarios for name, _ in s.cost_overrides}
+    )
+    varying = []
+    for name in candidates:
+        values = set()
+        for scenario in scenarios:
+            try:
+                values.add(repr(read_axis(scenario, name)))
+            except Exception:
+                values.add("?")  # e.g. records of an unknown dataset
+        if len(values) > 1:
+            varying.append(name)
+    if "n_clusters" in varying and "bus_per_cluster" not in varying:
+        varying[varying.index("n_clusters")] = "n_bus"
+    return varying or ["dataset"]
 
 
 def _cmd_sweep_axes(args: argparse.Namespace) -> int:
@@ -292,12 +484,17 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
         default_cache,
         expand_axes,
         parse_axis_specs,
+        parse_shard_spec,
         read_axis,
+        result_store_key,
+        scenario_key,
+        shard_scenarios,
     )
     from .gbdt import TrainParams
 
     from .sim.executor import MODEL_NAMES
 
+    mode = "inference" if args.inference else "compare"
     try:
         if args.resume and not args.out:
             raise ValueError("--resume requires --out (the manifest to resume from)")
@@ -311,6 +508,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             raise ValueError(
                 f"unknown systems {unknown_systems}; known: {list(MODEL_NAMES)}"
             )
+        shard = parse_shard_spec(args.shard) if args.shard else None
         axes = parse_axis_specs(args.axis)
         base = ScenarioSpec(
             dataset=args.dataset,
@@ -327,27 +525,49 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
 
     cache = default_cache()
     results_store = ResultStore(root=cache.root)
+    total = len(scenarios)
+    if shard is not None:
+        # Partition BEFORE any cache/manifest work: ownership is a stable
+        # function of scenario content, so every host slices the identical
+        # expanded list the same way and the shards are a disjoint cover.
+        shard_index, shard_count = shard
+        scenarios = shard_scenarios(scenarios, shard_index, shard_count)
     if args.refresh:
         for scenario in scenarios:
-            cache.invalidate(scenario.train_key())
-            results_store.invalidate(scenario.cache_key())
+            try:
+                keys = (scenario.train_key(), result_store_key(scenario, mode))
+            except Exception:
+                # Unkeyable scenario: nothing can be stored under its key
+                # anyway, and it will surface as an error result below.
+                continue
+            # Deliberately not guarded: a failing unlink (permissions on a
+            # shared cache dir, say) must not silently replay the stale
+            # result the user explicitly asked to recompute.
+            cache.invalidate(keys[0])
+            results_store.invalidate(keys[1])
 
     manifest = pathlib.Path(args.out) if args.out else None
     # Index -> result for scenarios already completed in the manifest.
     resumed: dict[int, object] = {}
     if args.resume and manifest is not None and manifest.exists():
         by_key: dict[str, list] = {}
-        for key, result in _resumable_results(manifest):
+        for key, result in _resumable_results(manifest, mode):
             by_key.setdefault(key, []).append(result)
         for i, scenario in enumerate(scenarios):
-            bucket = by_key.get(scenario.cache_key())
+            bucket = by_key.get(scenario_key(scenario))
             if bucket:
                 resumed[i] = bucket.pop(0)
 
     axis_names = list(axes)
+    what = "inference sweep" if mode == "inference" else "sweep"
+    shard_note = (
+        f" (shard {shard_index + 1}/{shard_count} of {total})"
+        if shard is not None
+        else ""
+    )
     print(
-        f"sweep: {len(scenarios)} scenarios over axes "
-        f"{', '.join(axis_names)} (cache: {cache.root})"
+        f"{what}: {len(scenarios)} scenarios over axes "
+        f"{', '.join(axis_names)}{shard_note} (cache: {cache.root})"
     )
     if resumed:
         print(
@@ -365,15 +585,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
         return cells
 
     def to_row(result) -> list[str]:
-        times = result.comparison.systems if result.comparison is not None else {}
-        booster_cell = f"{times['booster'].total:.4g}" if "booster" in times else "-"
-        if "booster" in times and result.comparison.baseline in times:
-            speedup_cell = f"{result.booster_speedup:.2f}x"
-        else:
-            speedup_cell = "-"
-        return axis_cells(result.scenario) + [
-            booster_cell,
-            speedup_cell,
+        return axis_cells(result.scenario) + _metric_cells(result) + [
             _provenance(result),
             str(result.worker_pid),
         ]
@@ -402,11 +614,13 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             manifest_fh.write("\n")
 
     failures = 0
+    unit = "ms" if mode == "inference" else "s"
     runner = SweepRunner(
         cache=cache,
         max_workers=args.workers,
         parallel=not args.serial,
         results=results_store,
+        mode=mode,
     )
     try:
         for sub_index, result in runner.run_indexed([s for _, s in pending]):
@@ -422,18 +636,23 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             else:
                 row = ordered[index]
                 label = {"hit": "cache hit"}.get(_provenance(result), _provenance(result))
-                print(f"  done {cells}: booster {row[-4]} s ({row[-3]}) [{label}]")
+                print(f"  done {cells}: booster {row[-4]} {unit} ({row[-3]}) [{label}]")
     finally:
         if manifest_fh is not None:
             manifest_fh.close()
 
     rows = [row for row in ordered if row is not None]
     print()
+    title = (
+        f"scenario sweep ({len(rows)} scenarios)"
+        if mode == "compare"
+        else f"inference sweep ({len(rows)} scenarios)"
+    )
     print(
         render_table(
-            axis_names + ["booster (s)", "speedup", "training", "pid"],
+            axis_names + [_metric_header(mode), "speedup", "training", "pid"],
             rows,
-            title=f"scenario sweep ({len(rows)} scenarios)",
+            title=title,
         )
     )
     if failures:
@@ -474,6 +693,217 @@ def _cmd_sweep_design_space(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """Union sweep shard manifests into one manifest (pure file work).
+
+    Lines are deduped by scenario ``cache_key`` with later-lines-supersede
+    semantics (see :func:`_dedupe_manifest_lines`): a ``--resume``-healed
+    failure or a re-run under edited simulation source survives as its
+    freshest line only.  After deduping, the surviving lines must agree on
+    ``sim_code`` and sweep kind; mixed winners are rejected -- unioning
+    them would silently mix incomparable rows into one table.
+    """
+    from .experiments import scenario_key
+
+    inputs = [pathlib.Path(p) for p in args.inputs]
+    missing = [str(p) for p in inputs if not p.exists()]
+    if missing:
+        print(f"no such manifest(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    pairs = []
+    skipped = 0
+    for path in inputs:
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                d = json.loads(line)
+            except Exception:
+                skipped += 1  # corrupt / partial line: tolerated
+                continue
+            if not isinstance(d, dict) or "scenario" not in d:
+                skipped += 1
+                continue
+            key = d.get("cache_key")
+            if not isinstance(key, str):
+                try:
+                    from .experiments import SweepResult
+
+                    result = SweepResult.from_dict(d)  # pre-cache_key manifest
+                    key = scenario_key(result.scenario)
+                except Exception:
+                    skipped += 1
+                    continue
+            pairs.append((key, d))
+    best, order, collapsed = _dedupe_manifest_lines(pairs)
+    # Uniformity is judged on the WINNERS: superseded stale lines (e.g. a
+    # shard resumed after a simulator edit re-ran everything and appended
+    # fresh lines) must not poison an otherwise-consistent merge.
+    sim_codes = {best[key].get("sim_code") for key in order}
+    kinds = {kind for kind, _ in order}
+    if len(sim_codes) > 1:
+        print(
+            "refusing to merge manifests recorded under different simulation "
+            f"source: sim_code {sorted(map(repr, sim_codes))}; re-run the "
+            "stale shards (or --resume them) instead",
+            file=sys.stderr,
+        )
+        return 2
+    if len(kinds) > 1:
+        print(
+            "refusing to merge manifests of different sweep kinds: "
+            f"{sorted(kinds)} (compare and inference tables are not "
+            "comparable)",
+            file=sys.stderr,
+        )
+        return 2
+    if not best:
+        print("nothing to merge: no parseable result lines", file=sys.stderr)
+        return 2
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as fh:
+        for key in order:
+            fh.write(json.dumps(best[key]) + "\n")
+    errors = sum(not _line_is_success(best[key]) for key in order)
+    print(
+        f"merged {len(inputs)} manifest(s) -> {out}: {len(order)} scenarios "
+        f"({len(order) - errors} ok, {errors} failed; "
+        f"{collapsed} duplicate line(s) dropped, {skipped} unparseable "
+        f"line(s) skipped)"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a sweep table straight from a manifest: zero re-runs.
+
+    This is the multi-host endgame: each shard streamed its own manifest,
+    ``repro merge`` unioned them, and the report renders the merged rows
+    without training or simulating anything.
+    """
+    from .experiments import SweepResult, scenario_key
+
+    path = pathlib.Path(args.from_manifest)
+    if not path.exists():
+        print(f"no such manifest: {path}", file=sys.stderr)
+        return 2
+    raw_entries, skipped = _manifest_entries(path)
+    # A resumed manifest appends healed/re-run lines after the ones they
+    # supersede; render one row per scenario (the freshest), exactly as
+    # merge would keep it.
+    pairs = []
+    for d, result in raw_entries:
+        key = d.get("cache_key")
+        if not isinstance(key, str):
+            key = scenario_key(result.scenario)
+        pairs.append((key, d))
+    best, order, collapsed = _dedupe_manifest_lines(pairs)
+    entries = [SweepResult.from_dict(best[key]) for key in order]
+    if not entries:
+        print(f"no parseable result lines in {path}", file=sys.stderr)
+        return 2
+    kinds = {result.kind for result in entries}
+    if len(kinds) > 1:
+        print(
+            f"manifest mixes sweep kinds {sorted(kinds)}; merge rejects this "
+            "-- regenerate it",
+            file=sys.stderr,
+        )
+        return 2
+    mode = kinds.pop()
+    axis_names = _infer_axes([result.scenario for result in entries])
+    from .experiments import read_axis
+
+    rows = []
+    failures = 0
+    for result in entries:
+        cells = []
+        for name in axis_names:
+            try:
+                cells.append(str(read_axis(result.scenario, name)))
+            except Exception:
+                cells.append("?")
+        rows.append(
+            cells
+            + _metric_cells(result)
+            + [_provenance(result), str(result.worker_pid)]
+        )
+        failures += result.error is not None
+    if skipped:
+        print(f"note: skipped {skipped} unparseable manifest line(s)", file=sys.stderr)
+    if collapsed:
+        print(
+            f"note: collapsed {collapsed} superseded manifest line(s)",
+            file=sys.stderr,
+        )
+    title = (
+        f"scenario sweep ({len(rows)} scenarios, from {path.name})"
+        if mode == "compare"
+        else f"inference sweep ({len(rows)} scenarios, from {path.name})"
+    )
+    print(
+        render_table(
+            axis_names + [_metric_header(mode), "speedup", "training", "pid"],
+            rows,
+            title=title,
+        )
+    )
+    if failures:
+        print(f"{failures} scenario(s) failed in this manifest", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """`repro cache export/import`: move store entries between hosts."""
+    from .experiments import default_cache
+    from .experiments.cache import export_entries, import_entries
+
+    cache = default_cache()
+    if cache.root is None:  # pragma: no cover - default cache is always rooted
+        print("the default cache has no disk root; nothing to move", file=sys.stderr)
+        return 2
+    if args.cache_command == "import":
+        imported = import_entries(cache.root, args.archive)
+        print(f"imported {len(imported)} entr(ies) into {cache.root}")
+        return 0
+
+    keys = None
+    if args.axis:
+        from .experiments import (
+            ScenarioSpec,
+            expand_axes,
+            parse_axis_specs,
+            result_store_key,
+        )
+        from .gbdt import TrainParams
+
+        try:
+            axes = parse_axis_specs(args.axis)
+            base = ScenarioSpec(
+                dataset=args.dataset,
+                seed=args.seed,
+                train=TrainParams(n_trees=args.trees),
+                systems=tuple(args.systems) if args.systems else (),
+            )
+            scenarios = expand_axes(base, axes)
+            keys = set()
+            for scenario in scenarios:
+                keys.add(scenario.train_key())
+                keys.add(result_store_key(scenario, "compare"))
+                keys.add(result_store_key(scenario, "inference"))
+        except (KeyError, ValueError) as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+    members = export_entries(cache.root, args.archive, keys=keys)
+    scope = "matching the sweep" if keys is not None else "in the store"
+    print(f"exported {len(members)} entr(ies) {scope} -> {args.archive}")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.validate import report, validate_all
 
@@ -490,6 +920,9 @@ _COMMANDS = {
     "inference": _cmd_inference,
     "figures": _cmd_figures,
     "sweep": _cmd_sweep,
+    "merge": _cmd_merge,
+    "report": _cmd_report,
+    "cache": _cmd_cache,
     "validate": _cmd_validate,
 }
 

@@ -27,6 +27,8 @@ from .cache import (
     ResultStore,
     default_cache,
     default_cache_dir,
+    export_entries,
+    import_entries,
     sim_fingerprint,
 )
 from .pipeline import (
@@ -39,22 +41,31 @@ from .pipeline import (
 from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, cost_overrides_from
 from .runner import (
     AXIS_NAMES,
+    CANONICAL_AXES,
+    SWEEP_MODES,
     SweepResult,
     SweepRunner,
     apply_axis,
     expand_axes,
     parse_axis_specs,
+    parse_shard_spec,
     read_axis,
+    result_store_key,
     run_scenario,
+    scenario_key,
+    shard_of,
+    shard_scenarios,
 )
 
 __all__ = [
     "AXIS_NAMES",
     "CACHE_VERSION",
+    "CANONICAL_AXES",
     "DEFAULT_SYSTEMS",
     "KeyedStore",
     "ProfileCache",
     "ResultStore",
+    "SWEEP_MODES",
     "ScenarioSpec",
     "SweepResult",
     "SweepRunner",
@@ -65,10 +76,17 @@ __all__ = [
     "default_cache",
     "default_cache_dir",
     "expand_axes",
+    "export_entries",
+    "import_entries",
     "is_trained",
     "parse_axis_specs",
+    "parse_shard_spec",
     "read_axis",
+    "result_store_key",
     "run_scenario",
+    "scenario_key",
+    "shard_of",
+    "shard_scenarios",
     "sim_fingerprint",
     "train_scenario",
     "train_scenario_tracked",

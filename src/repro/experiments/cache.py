@@ -38,8 +38,14 @@ __all__ = [
     "code_fingerprint",
     "default_cache",
     "default_cache_dir",
+    "export_entries",
+    "import_entries",
     "sim_fingerprint",
 ]
+
+#: File suffixes that may enter/leave a cache directory through the tar
+#: export/import path: trained-profile pickles and result-store JSON.
+_ENTRY_SUFFIXES = (".pkl", ".json")
 
 #: Bump to invalidate every on-disk artifact (serialization/trainer layout
 #: changes); the version participates in the content hash.
@@ -261,6 +267,69 @@ class ResultStore(KeyedStore):
 
     def _decode(self, raw: bytes) -> Any:
         return json.loads(raw)
+
+
+def export_entries(root, tar_path, keys=None) -> list[str]:
+    """Tar up cache-directory entries so a warm host can seed cold shards.
+
+    ``keys=None`` exports every store entry under ``root``; otherwise only
+    entries whose key (filename stem) is in ``keys``.  Returns the archive
+    member names (flat basenames -- the archive has no directory structure,
+    so it can be imported into any cache root).  Temp files and anything
+    that is not a store entry are never exported.
+    """
+    import tarfile
+
+    root = Path(root)
+    tar_path = Path(tar_path)
+    wanted = None if keys is None else set(keys)
+    members: list[str] = []
+    tar_path.parent.mkdir(parents=True, exist_ok=True)
+    with tarfile.open(tar_path, "w") as tar:
+        if root.is_dir():
+            for p in sorted(root.iterdir()):
+                if not p.is_file() or p.suffix not in _ENTRY_SUFFIXES:
+                    continue
+                if wanted is not None and p.stem not in wanted:
+                    continue
+                tar.add(p, arcname=p.name)
+                members.append(p.name)
+    return members
+
+
+def import_entries(root, tar_path) -> list[str]:
+    """Unpack :func:`export_entries` archives into a cache directory.
+
+    Only regular members whose (flattened) name looks like a store entry
+    are extracted -- path components are stripped, so a crafted archive
+    cannot write outside ``root``.  Entries land atomically (temp file +
+    rename), the same protocol concurrent sweep workers use, so importing
+    into a live cache directory is safe.  Returns the imported entry names.
+    """
+    import tarfile
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    imported: list[str] = []
+    with tarfile.open(tar_path, "r") as tar:
+        for member in tar.getmembers():
+            name = os.path.basename(member.name)
+            if not member.isreg() or Path(name).suffix not in _ENTRY_SUFFIXES:
+                continue
+            fh = tar.extractfile(member)
+            if fh is None:
+                continue
+            fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as out:
+                    out.write(fh.read())
+                os.replace(tmp, root / name)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            imported.append(name)
+    return imported
 
 
 _DEFAULT_CACHE: ProfileCache | None = None

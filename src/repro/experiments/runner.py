@@ -24,6 +24,7 @@ than dropped, so one bad point never loses the rest of the sweep.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 import os
@@ -32,21 +33,34 @@ from dataclasses import dataclass, fields as dc_fields, replace
 from typing import Iterable, Iterator, Sequence
 
 from ..sim.calibrate import CostModel
-from ..sim.results import ComparisonResult
+from ..sim.results import ComparisonResult, InferenceResult
 from .cache import CACHE_VERSION, ProfileCache, ResultStore, default_cache, sim_fingerprint
 from .pipeline import is_trained
 from .scenario import _COST_FIELD_NAMES, ScenarioSpec
 
 __all__ = [
     "AXIS_NAMES",
+    "CANONICAL_AXES",
+    "SWEEP_MODES",
     "SweepResult",
     "SweepRunner",
     "apply_axis",
     "expand_axes",
     "parse_axis_specs",
+    "parse_shard_spec",
     "read_axis",
+    "result_store_key",
     "run_scenario",
+    "scenario_key",
+    "shard_of",
+    "shard_scenarios",
 ]
+
+#: What a sweep measures per scenario: the training-time comparison (the
+#: Fig. 7 workhorse) or the batch-inference comparison (Fig. 13).  Each mode
+#: stores its payload under its own :func:`result_store_key` namespace, so
+#: the two kinds of results coexist in one ``ResultStore`` directory.
+SWEEP_MODES = ("compare", "inference")
 
 _SCENARIO_AXES = {
     "dataset": "dataset",
@@ -107,6 +121,12 @@ AXIS_NAMES = {
     "n_bus": "booster.n_clusters (derived: n_bus / bus_per_cluster)",
 }
 
+#: Canonical axis names in declaration order (aliases removed) -- what
+#: ``parse_axis_specs`` produces and what consumers that enumerate axes
+#: (e.g. ``repro report``'s axis inference) should iterate, so a new axis
+#: added to the routing tables above automatically reaches them.
+CANONICAL_AXES = tuple(k for k in AXIS_NAMES if k not in _AXIS_ALIASES)
+
 
 def apply_axis(scenario: ScenarioSpec, name: str, value) -> ScenarioSpec:
     """Return ``scenario`` with one axis set to ``value``."""
@@ -137,6 +157,16 @@ def apply_axis(scenario: ScenarioSpec, name: str, value) -> ScenarioSpec:
             scenario, booster=replace(scenario.booster, n_clusters=int(value // per))
         )
     if name in _COST_FIELD_NAMES:
+        # Cost constants are energies, latencies, clocks, and sizes: every
+        # one is a finite, positive number.  NaN would additionally poison
+        # cache keys (NaN != NaN breaks manifest dedupe and store lookups),
+        # so reject bad values here with a clear message instead of letting
+        # them flow into keys and comparisons.
+        if not math.isfinite(value) or value <= 0:
+            raise ValueError(
+                f"cost override {name!r} needs a finite, positive value, "
+                f"got {value!r}"
+            )
         overrides = dict(scenario.cost_overrides)
         overrides[name] = value
         return replace(scenario, cost_overrides=tuple(sorted(overrides.items())))
@@ -201,7 +231,14 @@ def _parse_value(text: str):
 
 
 def parse_axis_specs(specs: Iterable[str]) -> dict[str, list]:
-    """Parse CLI ``NAME=V1,V2,...`` axis strings into an axes mapping."""
+    """Parse CLI ``NAME=V1,V2,...`` axis strings into an axes mapping.
+
+    Aliases are canonicalized at parse time (``trees`` -> ``n_trees``,
+    ``records`` -> ``sim_records``, ``scale`` -> ``extra_scale``): the axes
+    dict -- and everything derived from it, like sweep-table headers and
+    shard partitions -- is identical no matter which spelling the caller
+    used, so two hosts spelling the same sweep differently still agree.
+    """
     axes: dict[str, list] = {}
     for spec in specs:
         name, sep, values = spec.partition("=")
@@ -210,24 +247,27 @@ def parse_axis_specs(specs: Iterable[str]) -> dict[str, list]:
         if not sep or not name or not parsed:
             raise ValueError(f"bad axis spec {spec!r}; expected NAME=V1,V2,...")
         canonical = _AXIS_ALIASES.get(name, name)
-        if any(_AXIS_ALIASES.get(n, n) == canonical for n in axes):
+        if canonical in axes:
             raise ValueError(
                 f"duplicate axis {name!r}; give each axis once (aliases like "
                 f"trees/n_trees count as the same axis)"
             )
-        axes[name] = parsed
+        axes[canonical] = parsed
     return axes
 
 
 @dataclass
 class SweepResult:
-    """Outcome of one scenario: the comparison plus provenance, or an error.
+    """Outcome of one scenario: a measurement plus provenance, or an error.
 
-    Exactly one of ``comparison``/``error`` is set.  A failed scenario is a
-    first-class result (streamed, serialized into manifests) rather than an
-    exception that aborts the sweep; ``stored=True`` marks a timing result
-    served from the persistent :class:`ResultStore` (zero training *and*
-    zero simulation in this run).
+    ``kind`` says what was measured: a ``"compare"`` result carries a
+    ``comparison`` (training times), an ``"inference"`` result carries an
+    ``inference`` payload (batch-inference times); exactly one of the
+    payload/``error`` fields is set.  A failed scenario is a first-class
+    result (streamed, serialized into manifests) rather than an exception
+    that aborts the sweep; ``stored=True`` marks a result served from the
+    persistent :class:`ResultStore` (zero training *and* zero simulation in
+    this run).
     """
 
     scenario: ScenarioSpec
@@ -235,30 +275,39 @@ class SweepResult:
     cache_hit: bool  # training artifact was served from the cache
     worker_pid: int  # process that executed (or originally executed) it
     error: str | None = None  # failure description when the scenario raised
-    stored: bool = False  # timing result replayed from the result store
+    stored: bool = False  # result replayed from the result store
+    inference: InferenceResult | None = None  # set in "inference" mode
+    kind: str = "compare"  # which SWEEP_MODES measurement this is
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
     @property
+    def payload(self) -> ComparisonResult | InferenceResult | None:
+        """The mode's measurement (``comparison`` or ``inference``)."""
+        return self.inference if self.kind == "inference" else self.comparison
+
+    @property
     def booster_speedup(self) -> float:
-        if self.comparison is None:
+        if self.payload is None:
             raise ValueError(f"scenario failed, no timing result: {self.error}")
-        return self.comparison.speedup("booster")
+        return self.payload.speedup("booster")
 
     def to_dict(self) -> dict:
         """Manifest/JSONL form; ``from_dict`` round-trips it.
 
         ``cache_key`` and ``sim_code`` are provenance for manifest consumers
-        (resume bookkeeping and staleness checks); ``from_dict`` ignores
-        them.
+        (resume/merge bookkeeping and staleness checks); ``from_dict``
+        ignores them.
         """
         return {
-            "cache_key": _scenario_key(self.scenario),
+            "cache_key": scenario_key(self.scenario),
             "sim_code": sim_fingerprint(),
+            "kind": self.kind,
             "scenario": self.scenario.to_dict(),
             "comparison": None if self.comparison is None else self.comparison.to_dict(),
+            "inference": None if self.inference is None else self.inference.to_dict(),
             "cache_hit": self.cache_hit,
             "stored": self.stored,
             "worker_pid": self.worker_pid,
@@ -268,6 +317,7 @@ class SweepResult:
     @classmethod
     def from_dict(cls, d: dict) -> "SweepResult":
         comparison = d.get("comparison")
+        inference = d.get("inference")
         return cls(
             scenario=ScenarioSpec.from_dict(d["scenario"]),
             comparison=None if comparison is None else ComparisonResult.from_dict(comparison),
@@ -275,16 +325,22 @@ class SweepResult:
             worker_pid=int(d.get("worker_pid", 0)),
             error=d.get("error"),
             stored=bool(d.get("stored", False)),
+            inference=None if inference is None else InferenceResult.from_dict(inference),
+            kind=d.get("kind", "compare"),
         )
 
 
-def _scenario_key(scenario: ScenarioSpec) -> str:
+def scenario_key(scenario: ScenarioSpec) -> str:
     """``cache_key()`` with a stable fallback for unkeyable scenarios.
 
     A scenario whose key cannot be derived (e.g. an unknown dataset name,
     where resolving the record count raises) must still flow through the
-    runner as an error result, so bookkeeping falls back to the canonical
-    JSON form instead of propagating the exception.
+    runner -- and the shard partitioner -- as a well-defined unit, so
+    bookkeeping falls back to the canonical JSON form instead of
+    propagating the exception.  The fallback is content-derived too: every
+    host computes the same owner shard for an unkeyable scenario, which is
+    then reported there as a structured ``SweepResult(error=...)`` line
+    rather than crashing the partitioner before any manifest is written.
     """
     try:
         return scenario.cache_key()
@@ -292,33 +348,113 @@ def _scenario_key(scenario: ScenarioSpec) -> str:
         return "!" + scenario.to_json()
 
 
-def _error_result(scenario: ScenarioSpec, exc: BaseException) -> SweepResult:
+#: Backwards-compatible private alias (pre-sharding internal name).
+_scenario_key = scenario_key
+
+
+def result_store_key(scenario: ScenarioSpec, mode: str = "compare") -> str:
+    """The :class:`ResultStore` key for one scenario in one sweep mode.
+
+    Compare results live directly under ``cache_key()`` (``s...``, the PR-2
+    layout); inference results get their own ``i...`` namespace so both
+    measurements of the same scenario coexist in one store directory.
+    """
+    if mode not in SWEEP_MODES:
+        raise ValueError(f"unknown sweep mode {mode!r}; known: {list(SWEEP_MODES)}")
+    key = scenario.cache_key()
+    return key if mode == "compare" else "i" + key[1:]
+
+
+def parse_shard_spec(text: str) -> tuple[int, int]:
+    """Parse a CLI ``K/N`` shard spec into a 0-based ``(index, count)``.
+
+    ``K`` is 1-based on the command line (``--shard 1/2``, ``--shard 2/2``)
+    because that is how operators number hosts; internally shards are
+    0-based.
+    """
+    k_text, sep, n_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        raise ValueError(
+            f"bad shard spec {text!r}; expected K/N with integer "
+            f"1 <= K <= N (e.g. --shard 2/4)"
+        ) from None
+    if n < 1 or not 1 <= k <= n:
+        raise ValueError(
+            f"bad shard spec {text!r}; expected K/N with integer 1 <= K <= N"
+        )
+    return k - 1, n
+
+
+def shard_of(scenario: ScenarioSpec, n_shards: int) -> int:
+    """The 0-based shard that owns ``scenario`` in an ``n_shards``-way split.
+
+    Ownership is a stable hash of :func:`scenario_key`, so every host
+    derives the identical partition from the identical scenario list --
+    regardless of axis spelling (aliases canonicalize before expansion and
+    the key hashes scenario *content*), host platform, or
+    ``PYTHONHASHSEED``.  Unkeyable scenarios partition by their canonical
+    JSON fallback key and surface as error results in their owning shard.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.sha256(scenario_key(scenario).encode()).hexdigest()
+    return int(digest, 16) % n_shards
+
+
+def shard_scenarios(
+    scenarios: Sequence[ScenarioSpec], shard: int, n_shards: int
+) -> list[ScenarioSpec]:
+    """The sublist of ``scenarios`` owned by ``shard`` (0-based) of ``n_shards``.
+
+    The N shards of a scenario list are a disjoint cover: every scenario
+    (duplicates included -- they share a key, hence an owner) lands in
+    exactly one shard, so running every shard and merging the manifests
+    reproduces the unsharded sweep.
+    """
+    if not 0 <= shard < n_shards:
+        raise ValueError(f"shard index {shard} outside 0..{n_shards - 1}")
+    return [s for s in scenarios if shard_of(s, n_shards) == shard]
+
+
+def _error_result(
+    scenario: ScenarioSpec, exc: BaseException, mode: str = "compare"
+) -> SweepResult:
     return SweepResult(
         scenario=scenario,
         comparison=None,
         cache_hit=False,
         worker_pid=os.getpid(),
         error=f"{type(exc).__name__}: {exc}",
+        kind=mode,
     )
 
 
-def _stored_result(scenario: ScenarioSpec, results: ResultStore) -> SweepResult | None:
-    """Replay the scenario's timing result from the store, if servable.
+def _stored_result(
+    scenario: ScenarioSpec, results: ResultStore, mode: str = "compare"
+) -> SweepResult | None:
+    """Replay the scenario's result from the store, if servable.
 
-    The payload's cache version and simulation-source fingerprint must match
-    the running code; anything else (stale, corrupt, wrong shape) is a miss
-    and the scenario re-simulates.
+    The payload's cache version, simulation-source fingerprint, and kind
+    must match the running code and requested mode; anything else (stale,
+    corrupt, wrong shape, wrong measurement) is a miss and the scenario
+    re-simulates.
     """
-    payload = results.get(scenario.cache_key())
+    payload = results.get(result_store_key(scenario, mode))
     if not isinstance(payload, dict):
         return None
     if payload.get("version") != CACHE_VERSION or payload.get("code") != sim_fingerprint():
+        return None
+    if payload.get("kind", "compare") != mode:
         return None
     try:
         result = SweepResult.from_dict(payload["result"])
     except Exception:
         return None
-    if result.error is not None or result.comparison is None:
+    if result.error is not None or result.kind != mode or result.payload is None:
         return None
     # Served without training or simulating: that is this run's provenance.
     return replace(result, cache_hit=True, stored=True)
@@ -328,36 +464,58 @@ def run_scenario(
     scenario: ScenarioSpec,
     cache: ProfileCache | None = None,
     results: ResultStore | None = None,
+    mode: str = "compare",
 ) -> SweepResult:
     """Execute one scenario end to end (train -> profile -> all systems).
 
-    Completed scenarios are served from ``results`` (a :class:`ResultStore`
-    sharing the profile cache's directory by default) without retraining or
-    re-simulating; fresh executions are stored back for the next run.
+    ``mode`` selects the measurement: ``"compare"`` times training on every
+    scenario system (the Fig. 7 table), ``"inference"`` times the batch
+    inference pass (Fig. 13).  Completed scenarios are served from
+    ``results`` (a :class:`ResultStore` sharing the profile cache's
+    directory by default) without retraining or re-simulating; fresh
+    executions are stored back for the next run, each mode under its own
+    key namespace.
     """
     from ..sim.executor import Executor  # lazy: sim.executor is a facade over us
 
+    if mode not in SWEEP_MODES:
+        raise ValueError(f"unknown sweep mode {mode!r}; known: {list(SWEEP_MODES)}")
     cache = cache or default_cache()
     if results is None:
         results = ResultStore(root=cache.root)
-    stored = _stored_result(scenario, results)
+    stored = _stored_result(scenario, results, mode)
     if stored is not None:
         return stored
     executor = Executor.from_scenario(scenario, cache=cache)
-    comparison = executor.compare(
-        scenario.dataset,
-        systems=list(scenario.systems),
-        extra_scale=scenario.extra_scale,
-    )
+    comparison = inference = None
+    if mode == "inference":
+        inference = executor.inference(
+            scenario.dataset,
+            systems=list(scenario.systems),
+            extra_scale=scenario.extra_scale,
+        )
+    else:
+        comparison = executor.compare(
+            scenario.dataset,
+            systems=list(scenario.systems),
+            extra_scale=scenario.extra_scale,
+        )
     result = SweepResult(
         scenario=scenario,
         comparison=comparison,
         cache_hit=bool(executor.last_train_hit),
         worker_pid=os.getpid(),
+        inference=inference,
+        kind=mode,
     )
     results.put(
-        scenario.cache_key(),
-        {"version": CACHE_VERSION, "code": sim_fingerprint(), "result": result.to_dict()},
+        result_store_key(scenario, mode),
+        {
+            "version": CACHE_VERSION,
+            "code": sim_fingerprint(),
+            "kind": mode,
+            "result": result.to_dict(),
+        },
     )
     return result
 
@@ -369,14 +527,14 @@ _WORKER_CACHES: dict[str | None, ProfileCache] = {}
 _WORKER_RESULT_STORES: dict[str | None, ResultStore] = {}
 
 
-def _run_payload(payload: tuple[dict, str | None, str | None]) -> SweepResult:
+def _run_payload(payload: tuple[dict, str | None, str | None, str]) -> SweepResult:
     """Process-pool entry point (module-level so it pickles).
 
     Exceptions are captured into error results here, in the worker: the
     pool stays healthy and the parent never sees a raising future for an
     ordinary scenario failure.
     """
-    scenario_dict, cache_root, results_root = payload
+    scenario_dict, cache_root, results_root, mode = payload
     scenario = ScenarioSpec.from_dict(scenario_dict)
     cache = _WORKER_CACHES.get(cache_root)
     if cache is None:
@@ -385,9 +543,9 @@ def _run_payload(payload: tuple[dict, str | None, str | None]) -> SweepResult:
     if results is None:
         results = _WORKER_RESULT_STORES[results_root] = ResultStore(root=results_root)
     try:
-        return run_scenario(scenario, cache, results)
+        return run_scenario(scenario, cache, results, mode)
     except Exception as exc:
-        return _error_result(scenario, exc)
+        return _error_result(scenario, exc, mode)
 
 
 class SweepRunner:
@@ -398,6 +556,7 @@ class SweepRunner:
     multi-process path even on single-core machines.  ``parallel=False``
     (or a single scenario) runs everything in-process, which is also the
     mode where monkeypatched counters can observe training calls.
+    ``mode`` selects the per-scenario measurement (see :data:`SWEEP_MODES`).
     """
 
     def __init__(
@@ -406,10 +565,14 @@ class SweepRunner:
         max_workers: int | None = None,
         parallel: bool = True,
         results: ResultStore | None = None,
+        mode: str = "compare",
     ) -> None:
+        if mode not in SWEEP_MODES:
+            raise ValueError(f"unknown sweep mode {mode!r}; known: {list(SWEEP_MODES)}")
         self.cache = cache or default_cache()
         self.max_workers = max_workers
         self.parallel = parallel
+        self.mode = mode
         # The result store shares the profile cache's directory by default
         # (the "sibling store" layout), so tests and CLI runs pointing the
         # cache somewhere isolated get an equally isolated result store.
@@ -423,9 +586,9 @@ class SweepRunner:
     def _guarded(self, scenario: ScenarioSpec) -> SweepResult:
         """Run one scenario in-process, capturing failures as results."""
         try:
-            return run_scenario(scenario, self.cache, self.results)
+            return run_scenario(scenario, self.cache, self.results, self.mode)
         except Exception as exc:
-            return _error_result(scenario, exc)
+            return _error_result(scenario, exc, self.mode)
 
     def run(self, scenarios: Sequence[ScenarioSpec]) -> Iterator[SweepResult]:
         """Yield results as scenarios complete (completion order).
@@ -455,7 +618,9 @@ class SweepRunner:
         results_root = str(self.results.root) if self.results.root is not None else None
 
         def submit(pool, scenario):
-            return pool.submit(_run_payload, (scenario.to_dict(), root, results_root))
+            return pool.submit(
+                _run_payload, (scenario.to_dict(), root, results_root, self.mode)
+            )
 
         pool = ProcessPoolExecutor(max_workers=workers)
         pending: dict = {}
@@ -466,7 +631,7 @@ class SweepRunner:
                     key = scenario.train_key()
                 except Exception as exc:
                     # Unkeyable (e.g. unknown dataset): report, keep sweeping.
-                    yield _error_result(scenario, exc)
+                    yield _error_result(scenario, exc, self.mode)
                     continue
                 rep = representative.get(key)
                 if rep is not None and not is_trained(scenario, self.cache):
@@ -476,7 +641,7 @@ class SweepRunner:
                     try:
                         future = submit(pool, scenario)
                     except Exception as exc:  # pool unusable (e.g. broken)
-                        yield _error_result(scenario, exc)
+                        yield _error_result(scenario, exc, self.mode)
                         continue
                     pending[future] = [scenario]
                     representative.setdefault(key, future)
@@ -489,7 +654,7 @@ class SweepRunner:
                     except Exception as exc:
                         # The worker died outright (SIGKILL / broken pool):
                         # the scenario still gets a structured error result.
-                        result = _error_result(group[0], exc)
+                        result = _error_result(group[0], exc, self.mode)
                     siblings = group[1:]
                     if siblings:
                         if result.error is None or is_trained(siblings[0], self.cache):
@@ -507,7 +672,7 @@ class SweepRunner:
                                 pending[submit(pool, group_[0])] = group_
                             except Exception as exc:
                                 for sib in group_:
-                                    yield _error_result(sib, exc)
+                                    yield _error_result(sib, exc, self.mode)
                     yield result
         finally:
             # On abandonment (GeneratorExit) or interrupt, drop the

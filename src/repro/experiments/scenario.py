@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import asdict, dataclass, field, fields as dc_fields, replace
 
 from ..core.config import BoosterConfig
@@ -102,9 +103,18 @@ class ScenarioSpec:
             tuple(sorted((str(k), v) for k, v in self.cost_overrides)),
         )
         object.__setattr__(self, "systems", tuple(self.systems) or DEFAULT_SYSTEMS)
-        for name, _ in self.cost_overrides:
+        for name, value in self.cost_overrides:
             if name not in _COST_FIELD_NAMES:
                 raise ValueError(f"unknown cost-model field {name!r}")
+            # Every cost constant is a finite, positive energy/latency/
+            # clock/size; NaN or a negative value would poison the content
+            # hashes (and every comparison built on them), so reject at
+            # construction -- the same rule ``apply_axis`` enforces.
+            if not isinstance(value, (int, float)) or not math.isfinite(value) or value <= 0:
+                raise ValueError(
+                    f"cost override {name!r} needs a finite, positive value, "
+                    f"got {value!r}"
+                )
         if self.extra_scale <= 0:
             raise ValueError("extra_scale must be positive")
         if self.sim_records is not None and self.sim_records < 1:

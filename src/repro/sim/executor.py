@@ -228,14 +228,22 @@ class Executor:
         dataset: str,
         systems: list[str] | None = None,
         n_trees: int = PAPER_TREES,
+        extra_scale: float = 1.0,
     ) -> InferenceResult:
-        """Batch-inference comparison over all records (Fig. 13)."""
+        """Batch-inference comparison over all records (Fig. 13).
+
+        ``extra_scale`` multiplies the batch's record count on top of the
+        paper extrapolation, mirroring :meth:`profile`'s parameter so
+        record-scaling sweeps measure scaled inference work too.
+        """
         result = self.train_result(dataset)
         data = self.dataset(dataset)  # same memoized dataset training used
         predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
         work = predictor.inference_work(data, n_trees_target=n_trees)
         if self.scale_to_paper:
-            work = work.scaled(work.spec.paper_records / work.n_records)
+            work = work.scaled(work.spec.paper_records / work.n_records * extra_scale)
+        elif extra_scale != 1.0:
+            work = work.scaled(extra_scale)
         names = systems or ["ideal-32-core", "booster"]
         seconds = {name: self._models[name].inference_seconds(work) for name in names}
         return InferenceResult(dataset=dataset, seconds=seconds)

@@ -128,8 +128,28 @@ class InferenceResult:
                 f"(have: {sorted(self.seconds)})"
             ) from None
 
-    def speedup(self, system: str) -> float:
-        return self._seconds(self.baseline) / self._seconds(system)
+    def speedup(self, system: str, over: str | None = None) -> float:
+        mine = self._seconds(system)
+        if mine <= 0:
+            raise ValueError(f"non-positive time for {system!r}")
+        return self._seconds(over or self.baseline) / mine
+
+    def table(self) -> str:
+        """Human-readable inference table (the ``repro inference`` view)."""
+        from .report import render_table
+
+        rows = []
+        for system, seconds in self.seconds.items():
+            if self.baseline in self.seconds:
+                speedup_cell = f"{self.speedup(system):.1f}x"
+            else:
+                speedup_cell = "-"
+            rows.append([system, f"{seconds * 1e3:.2f} ms", speedup_cell])
+        return render_table(
+            ["system", "batch time", "speedup"],
+            rows,
+            title=f"batch inference: {self.dataset}",
+        )
 
     def to_dict(self) -> dict:
         return {

@@ -232,7 +232,15 @@ class TestCommands:
 
     def test_sweep_out_requires_axes(self, capsys, tmp_path):
         assert main(["sweep", "--trees", "2", "--out", str(tmp_path / "m.jsonl")]) == 2
-        assert "--out/--resume apply to axis sweeps" in capsys.readouterr().err
+        assert "apply to axis sweeps" in capsys.readouterr().err
+
+    def test_sweep_shard_requires_axes(self, capsys):
+        assert main(["sweep", "--trees", "2", "--shard", "1/2"]) == 2
+        assert "apply to axis sweeps" in capsys.readouterr().err
+
+    def test_sweep_inference_requires_axes(self, capsys):
+        assert main(["sweep", "--trees", "2", "--inference"]) == 2
+        assert "apply to axis sweeps" in capsys.readouterr().err
 
     def test_sweep_resume_rejects_refresh(self, capsys, tmp_path):
         """--refresh forces recomputation, --resume skips completed work:
@@ -268,6 +276,292 @@ class TestCommands:
         assert len(parsed) == 2  # original + appended, none fused
         assert parsed[-1]["error"] is None
         assert parsed[-1]["scenario"]["train"]["max_depth"] == 3
+
+    def _tripwire_runs(self, monkeypatch):
+        """Fail the test if anything trains or simulates from here on."""
+
+        def boom(*a, **k):
+            raise AssertionError("retrained or re-simulated")
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", boom)
+        monkeypatch.setattr("repro.sim.executor.Executor.from_scenario", boom)
+
+    def test_sweep_shard_merge_report_equals_unsharded(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """The acceptance criterion: --shard 1/2 + --shard 2/2 + merge yields
+        a manifest and report identical (up to line order) to the unsharded
+        sweep, with zero retraining on merge/report."""
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        full = tmp_path / "full.jsonl"
+        s1, s2 = tmp_path / "s1.jsonl", tmp_path / "s2.jsonl"
+        merged = tmp_path / "merged.jsonl"
+        assert main(self.SWEEP_ARGV + ["--out", str(full)]) == 0
+        assert main(self.SWEEP_ARGV + ["--shard", "1/2", "--out", str(s1)]) == 0
+        assert main(self.SWEEP_ARGV + ["--shard", "2/2", "--out", str(s2)]) == 0
+        out = capsys.readouterr().out
+        assert "(shard 1/2 of 2)" in out and "(shard 2/2 of 2)" in out
+
+        def by_key(path):
+            return {
+                json.loads(l)["cache_key"]: json.loads(l)
+                for l in path.read_text().splitlines()
+            }
+
+        # The shards are a disjoint cover of the full sweep.
+        shard_lines = len(s1.read_text().splitlines()) + len(
+            s2.read_text().splitlines()
+        )
+        assert shard_lines == 2
+        assert set(by_key(s1)) | set(by_key(s2)) == set(by_key(full))
+
+        # Merge and report are pure file work: no training, no simulation.
+        self._tripwire_runs(monkeypatch)
+        assert main(["merge", str(merged), str(s1), str(s2)]) == 0
+        full_lines, merged_lines = by_key(full), by_key(merged)
+        assert set(merged_lines) == set(full_lines)
+        for key, line in merged_lines.items():
+            assert line["error"] is None
+            assert line["scenario"] == full_lines[key]["scenario"]
+            assert line["comparison"] == full_lines[key]["comparison"]
+        assert main(["report", "--from-manifest", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep (2 scenarios" in out
+        assert "max_depth" in out  # the varying axis was inferred
+
+    def test_sweep_resume_skips_alias_respelled_manifest(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """Regression: a manifest written by a `trees=` sweep must fully
+        resume an `n_trees=` invocation of the same sweep (axis aliases
+        canonicalize at parse time; scenario keys hash content)."""
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        base = [
+            "sweep",
+            "--trees", "2",
+            "--serial",
+            "--dataset", "mq2008",
+            "--systems", "ideal-32-core", "booster",
+            "--out", str(manifest),
+        ]
+        assert main(base + ["--axis", "trees=3,4"]) == 0
+        out = capsys.readouterr().out
+        assert "axes n_trees" in out  # canonical label, not the raw alias
+        self._tripwire_runs(monkeypatch)
+        assert main(base + ["--axis", "n_trees=3,4", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: 2/2 scenarios already in" in out
+
+    def test_sweep_bad_shard_spec(self, capsys):
+        for spec in ("3/2", "0/2", "x/2", "2"):
+            assert main(["sweep", "--axis", "seed=1", "--shard", spec, "--trees", "2"]) == 2
+            assert "bad shard spec" in capsys.readouterr().err
+
+    def test_merge_prefers_success_over_error(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        from repro.gbdt import train as real_train
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        broken = tmp_path / "broken.jsonl"
+        healed = tmp_path / "healed.jsonl"
+        merged = tmp_path / "merged.jsonl"
+
+        def flaky(data, params):
+            if params.max_depth == 3:
+                raise RuntimeError("injected trainer fault")
+            return real_train(data, params)
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", flaky)
+        assert main(self.SWEEP_ARGV + ["--out", str(broken)]) == 1
+        monkeypatch.setattr("repro.experiments.pipeline.train", real_train)
+        assert main(self.SWEEP_ARGV + ["--out", str(healed)]) == 0
+        capsys.readouterr()
+        # Overlapping manifests: the failed line loses to the success.
+        assert main(["merge", str(merged), str(broken), str(healed)]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios (2 ok, 0 failed" in out
+        assert "2 duplicate line(s) dropped" in out  # collapsed, not lost
+        lines = [json.loads(l) for l in merged.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(l["error"] is None for l in lines)
+
+    def test_report_dedupes_healed_resumed_manifest(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A --resume run appends the healed line after the error line it
+        supersedes; report must render one (freshest) row per scenario and
+        not count the healed failure."""
+        from repro.gbdt import train as real_train
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+
+        def flaky(data, params):
+            if params.max_depth == 3:
+                raise RuntimeError("injected trainer fault")
+            return real_train(data, params)
+
+        monkeypatch.setattr("repro.experiments.pipeline.train", flaky)
+        assert main(argv) == 1
+        monkeypatch.setattr("repro.experiments.pipeline.train", real_train)
+        assert main(argv + ["--resume"]) == 0
+        assert len(manifest.read_text().splitlines()) == 3  # err + ok + ok
+        capsys.readouterr()
+        assert main(["report", "--from-manifest", str(manifest)]) == 0
+        captured = capsys.readouterr()
+        assert "scenario sweep (2 scenarios" in captured.out
+        assert "error" not in captured.out.split("training")[-1]
+        assert "scenario(s) failed" not in captured.err
+        assert "collapsed 1 superseded" in captured.err
+
+    def test_merge_accepts_manifest_resumed_after_sim_edit(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A shard resumed after a simulator edit appends fresh lines for
+        every scenario; the stale lines are superseded, so the manifest
+        must merge cleanly (uniformity is judged on the winners)."""
+        import json
+
+        import repro.experiments.cache as cache_mod
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+        assert main(argv) == 0
+        # The simulation source "changes": every old line becomes stale,
+        # resume re-runs everything and appends fresh lines.
+        monkeypatch.setattr(cache_mod, "_SIM_FINGERPRINT", "feedfacefeedface")
+        assert main(argv + ["--resume"]) == 0
+        assert len(manifest.read_text().splitlines()) == 4
+        capsys.readouterr()
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge", str(merged), str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios (2 ok, 0 failed; 2 duplicate line(s) dropped" in out
+        lines = [json.loads(l) for l in merged.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(l["sim_code"] == "feedfacefeedface" for l in lines)
+
+    def test_merge_rejects_mixed_sim_code(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        m1 = tmp_path / "m1.jsonl"
+        assert main(self.SWEEP_ARGV + ["--out", str(m1)]) == 0
+        lines = m1.read_text().splitlines()
+        stale = json.loads(lines[1])
+        stale["sim_code"] = "feedfacefeedface"  # recorded under other source
+        m2 = tmp_path / "m2.jsonl"
+        m2.write_text(json.dumps(stale) + "\n")
+        m1.write_text(lines[0] + "\n")
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "out.jsonl"), str(m1), str(m2)]) == 2
+        assert "sim_code" in capsys.readouterr().err
+        assert not (tmp_path / "out.jsonl").exists()
+
+    def test_merge_rejects_mixed_kinds(self, capsys, monkeypatch, tmp_path):
+        self._isolate_cache(monkeypatch, tmp_path)
+        cmp_m = tmp_path / "cmp.jsonl"
+        inf_m = tmp_path / "inf.jsonl"
+        assert main(self.SWEEP_ARGV + ["--out", str(cmp_m)]) == 0
+        assert main(self.SWEEP_ARGV + ["--inference", "--out", str(inf_m)]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "out.jsonl"), str(cmp_m), str(inf_m)]) == 2
+        assert "kinds" in capsys.readouterr().err
+
+    def test_merge_missing_input(self, capsys, tmp_path):
+        assert main(["merge", str(tmp_path / "out.jsonl"), str(tmp_path / "no.jsonl")]) == 2
+        assert "no such manifest" in capsys.readouterr().err
+
+    def test_report_missing_manifest(self, capsys, tmp_path):
+        assert main(["report", "--from-manifest", str(tmp_path / "no.jsonl")]) == 2
+        assert "no such manifest" in capsys.readouterr().err
+
+    def test_sweep_inference_mode_stores_and_replays(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """Inference sweeps write `kind: inference` manifests and replay
+        from the ResultStore on identical re-runs (the acceptance
+        criterion's inference half)."""
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "inf.jsonl"
+        assert main(self.SWEEP_ARGV + ["--inference", "--out", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "inference sweep (2 scenarios)" in out
+        lines = [json.loads(l) for l in manifest.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(l["kind"] == "inference" and l["comparison"] is None for l in lines)
+        assert all(l["inference"]["seconds"]["booster"] > 0 for l in lines)
+        self._tripwire_runs(monkeypatch)
+        assert main(self.SWEEP_ARGV + ["--inference"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[stored]") == 2
+
+    def test_compare_manifest_does_not_resume_inference_sweep(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A compare manifest must not satisfy --resume for an inference
+        sweep: the kinds measure different things."""
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "m.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--inference", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume:" not in out  # nothing in the manifest was resumable
+
+    def test_cache_export_import_seeds_cold_host(self, capsys, monkeypatch, tmp_path):
+        """A warm host's exported entries let a cold shard run the same
+        sweep with zero retraining and zero simulation."""
+        import repro.experiments.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        assert main(self.SWEEP_ARGV) == 0
+        tar = tmp_path / "warm.tar"
+        assert main([
+            "cache", "export", str(tar),
+            "--trees", "2",
+            "--dataset", "mq2008",
+            "--axis", "max_depth=2,3",
+            "--systems", "ideal-32-core", "booster",
+        ]) == 0
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cold"))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        assert main(["cache", "import", str(tar)]) == 0
+        capsys.readouterr()
+        self._tripwire_runs(monkeypatch)
+        assert main(self.SWEEP_ARGV) == 0
+        out = capsys.readouterr().out
+        assert out.count("[stored]") == 2
+
+    def test_cache_export_unfiltered_and_bad_axis(self, capsys, monkeypatch, tmp_path):
+        import tarfile
+
+        import repro.experiments.cache as cache_mod
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "warm"))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        assert main(self.SWEEP_ARGV) == 0
+        capsys.readouterr()
+        tar = tmp_path / "all.tar"
+        assert main(["cache", "export", str(tar)]) == 0
+        with tarfile.open(tar) as t:
+            names = t.getnames()
+        # One trained profile (max_depth is a train axis: two artifacts)
+        # plus two stored results.
+        assert sum(n.endswith(".pkl") for n in names) == 2
+        assert sum(n.endswith(".json") for n in names) == 2
+        assert main(["cache", "export", str(tar), "--axis", "bogus=1"]) == 2
+        assert "unknown sweep axis" in capsys.readouterr().err
 
     def test_sweep_bad_axis(self, capsys):
         assert main(["sweep", "--axis", "bogus=1", "--trees", "2"]) == 2

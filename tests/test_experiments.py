@@ -22,7 +22,12 @@ from repro.experiments import (
     apply_axis,
     expand_axes,
     parse_axis_specs,
+    parse_shard_spec,
+    result_store_key,
     run_scenario,
+    scenario_key,
+    shard_of,
+    shard_scenarios,
     train_scenario,
 )
 from repro.gbdt import TrainParams
@@ -335,6 +340,192 @@ class TestSweepExpansion:
         assert scenario.booster.n_clusters == 25
         assert isinstance(scenario.booster.n_clusters, int)
         assert scenario.cache_key() == apply_axis(TINY, "n_bus", 1600).cache_key()
+
+    def test_parse_axis_specs_canonicalizes_aliases(self):
+        """Regression: the raw alias used to survive as the axes-dict key,
+        so `trees=` and `n_trees=` sweeps carried different axis metadata
+        (labels, shard inputs) for identical scenarios."""
+        assert parse_axis_specs(["trees=4,8"]) == {"n_trees": [4, 8]}
+        assert parse_axis_specs(["records=500"]) == {"sim_records": [500]}
+        assert parse_axis_specs(["scale=2.0"]) == {"extra_scale": [2.0]}
+        spelled = expand_axes(TINY, parse_axis_specs(["trees=4,8"]))
+        canonical = expand_axes(TINY, parse_axis_specs(["n_trees=4,8"]))
+        assert spelled == canonical
+        assert [s.cache_key() for s in spelled] == [s.cache_key() for s in canonical]
+
+    def test_cost_override_values_validated(self):
+        """NaN/negative/zero cost overrides poison cache keys and every
+        comparison built on them; apply_axis must reject them up front."""
+        for bad in (float("nan"), float("inf"), -1.0, 0.0):
+            with pytest.raises(ValueError, match="finite, positive"):
+                apply_axis(TINY, "pcie_gbps", bad)
+        # Int-typed cost fields reject non-positive values too (NaN/inf
+        # already fail their integer check).
+        with pytest.raises(ValueError, match="finite, positive"):
+            apply_axis(TINY, "host_bin_bytes", -16)
+        ok = apply_axis(TINY, "pcie_gbps", 32.0)
+        assert ok.cost_overrides == (("pcie_gbps", 32.0),)
+
+    def test_scenario_spec_rejects_poisoned_cost_overrides(self):
+        """The same guard holds at construction (manifest/JSON inputs)."""
+        for bad in (float("nan"), -2.0, "fast"):
+            with pytest.raises(ValueError, match="finite, positive"):
+                replace(TINY, cost_overrides=(("pcie_gbps", bad),))
+
+
+class TestSharding:
+    def test_partition_is_disjoint_cover(self):
+        scenarios = expand_axes(TINY, {"max_depth": [2, 3, 4], "seed": [1, 2]})
+        for n in (1, 2, 3, 5):
+            shards = [shard_scenarios(scenarios, i, n) for i in range(n)]
+            assert sum(len(shard) for shard in shards) == len(scenarios)
+            covered = sorted(s.cache_key() for shard in shards for s in shard)
+            assert covered == sorted(s.cache_key() for s in scenarios)
+
+    def test_duplicate_scenarios_share_an_owner(self):
+        owners = {shard_of(TINY, 4) for _ in range(3)}
+        assert len(owners) == 1
+        owned = shard_scenarios([TINY, TINY], owners.pop(), 4)
+        assert owned == [TINY, TINY]
+
+    def test_partition_agrees_under_alias_respelling(self):
+        """Two hosts spelling the same sweep differently must derive the
+        identical shard assignment (ownership hashes scenario content)."""
+        spelled = expand_axes(TINY, parse_axis_specs(["trees=3,4,5"]))
+        canonical = expand_axes(TINY, parse_axis_specs(["n_trees=3,4,5"]))
+        for n in (2, 3):
+            for i in range(n):
+                assert shard_scenarios(spelled, i, n) == shard_scenarios(
+                    canonical, i, n
+                )
+
+    def test_partition_stable_across_processes(self):
+        """Ownership is a content hash: a fresh interpreter with a different
+        PYTHONHASHSEED must assign every scenario the same shard."""
+        scenarios = expand_axes(TINY, {"max_depth": [2, 3, 4]})
+        owners = [shard_of(s, 3) for s in scenarios]
+        code = (
+            "from repro.experiments import ScenarioSpec, expand_axes, shard_of\n"
+            f"base = ScenarioSpec.from_json({TINY.to_json()!r})\n"
+            "scenarios = expand_axes(base, {'max_depth': [2, 3, 4]})\n"
+            "print(*[shard_of(s, 3) for s in scenarios])\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "31337"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.split()
+        assert [int(o) for o in out] == owners
+
+    def test_unkeyable_scenario_owned_by_one_shard_and_errors_there(self, tmp_path):
+        """An unkeyable scenario (unknown dataset) must not crash the
+        partitioner: its canonical-JSON fallback key gives it exactly one
+        owner, where it surfaces as a structured error result."""
+        bad = replace(TINY, dataset="not-a-benchmark")
+        with pytest.raises(Exception):
+            bad.cache_key()  # the premise: this scenario is unkeyable
+        assert scenario_key(bad).startswith("!")
+        scenarios = [bad, TINY]
+        owners = [
+            i
+            for i in range(2)
+            if any(s is bad for s in shard_scenarios(scenarios, i, 2))
+        ]
+        assert len(owners) == 1
+        owned = shard_scenarios(scenarios, owners[0], 2)
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), parallel=False
+        ).run_all(owned)
+        failed = [r for r in results if r.scenario.dataset == "not-a-benchmark"]
+        assert len(failed) == 1 and failed[0].error is not None
+
+    def test_parse_shard_spec(self):
+        assert parse_shard_spec("1/2") == (0, 2)
+        assert parse_shard_spec("4/4") == (3, 4)
+        assert parse_shard_spec("1/1") == (0, 1)
+        for bad in ("0/2", "3/2", "x/2", "2", "2/", "/2", "1/0", "-1/2", "1/2/3"):
+            with pytest.raises(ValueError, match="bad shard spec"):
+                parse_shard_spec(bad)
+
+    def test_shard_arguments_validated(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            shard_of(TINY, 0)
+        with pytest.raises(ValueError, match="shard index"):
+            shard_scenarios([TINY], 2, 2)
+
+
+class TestInferenceSweeps:
+    def test_run_scenario_inference_stores_then_replays(self, tmp_path, monkeypatch):
+        """Inference sweeps ride the same result store: a completed scenario
+        replays with zero training and zero simulation."""
+        first = run_scenario(TINY, ProfileCache(root=tmp_path), mode="inference")
+        assert first.kind == "inference" and first.ok and not first.stored
+        assert first.comparison is None and first.inference is not None
+        assert first.inference.speedup("booster") > 1.0
+        assert first.booster_speedup == first.inference.speedup("booster")
+        monkeypatch.setattr(
+            "repro.experiments.pipeline.train",
+            _tripwire("train() despite stored inference result"),
+        )
+        monkeypatch.setattr(
+            "repro.sim.executor.Executor.from_scenario",
+            _tripwire("simulated despite stored inference result"),
+        )
+        second = run_scenario(TINY, ProfileCache(root=tmp_path), mode="inference")
+        assert second.stored and second.cache_hit and second.ok
+        assert second.inference.seconds == first.inference.seconds
+
+    def test_modes_use_disjoint_store_namespaces(self, tmp_path):
+        """A stored compare result must never be replayed as an inference
+        result (or vice versa): the two kinds key separately."""
+        assert result_store_key(TINY, "compare") != result_store_key(TINY, "inference")
+        cache = ProfileCache(root=tmp_path)
+        run_scenario(TINY, cache)  # completes + stores the compare payload
+        inf = run_scenario(TINY, cache, mode="inference")
+        assert not inf.stored  # computed fresh, not replayed from compare
+        again = run_scenario(TINY, cache, mode="inference")
+        assert again.stored
+
+    def test_inference_manifest_roundtrip(self, tmp_path):
+        result = run_scenario(TINY, ProfileCache(root=tmp_path), mode="inference")
+        again = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert again.kind == "inference"
+        assert again.comparison is None
+        assert again.inference.seconds == result.inference.seconds
+        assert again.scenario == result.scenario
+
+    def test_inference_honors_extra_scale(self, tmp_path):
+        """Regression: inference mode used to drop scenario.extra_scale,
+        so a scale axis produced distinct cache keys over byte-identical
+        measurements."""
+        cache = ProfileCache(root=tmp_path)
+        base = run_scenario(TINY, cache, mode="inference")
+        scaled = run_scenario(
+            replace(TINY, extra_scale=4.0), cache, mode="inference"
+        )
+        for system, seconds in base.inference.seconds.items():
+            assert scaled.inference.seconds[system] > 2.0 * seconds
+
+    def test_runner_inference_mode(self, tmp_path):
+        scenarios = expand_axes(TINY, {"max_depth": [2, 3]})
+        results = SweepRunner(
+            cache=ProfileCache(root=tmp_path), parallel=False, mode="inference"
+        ).run_all(scenarios)
+        assert len(results) == 2
+        assert all(r.kind == "inference" and r.inference is not None for r in results)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            run_scenario(TINY, ProfileCache(root=None), mode="bogus")
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            SweepRunner(mode="bogus")
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            result_store_key(TINY, "bogus")
 
 
 @pytest.fixture(scope="module")
