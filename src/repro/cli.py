@@ -11,6 +11,8 @@ Installed as the ``repro`` console script::
     repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl
     repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl --resume
     repro sweep --axis seed=1,2,3 --shard 1/2 --out shard1.jsonl  # host 1 of 2
+    repro sweep --axis trees=50,400 --shard 1/2 --balance cost --out s1.jsonl
+    repro plan --axis trees=50,400 --axis scale=1,8 --shards 2  # predict costs
     repro merge merged.jsonl shard1.jsonl shard2.jsonl  # union shard manifests
     repro report --from-manifest merged.jsonl           # render, zero re-runs
     repro cache export warm.tar --axis seed=1,2,3       # seed a cold host
@@ -39,9 +41,12 @@ Sweeps stream one JSONL line per scenario to --out as results complete
 scenario with a successful line in the manifest, and the persistent result
 store (results/cache/ or $REPRO_CACHE_DIR) replays completed timings with
 zero retraining and zero re-simulation.  --shard K/N deterministically
-partitions the expanded scenario list across N hosts; `repro merge` unions
-the per-shard manifests back into one, and `repro report --from-manifest`
-renders it without running anything.
+partitions the expanded scenario list across N hosts -- by stable content
+hash (--balance hash, the default) or by LPT bin packing over estimated
+scenario costs (--balance cost); `repro plan` predicts the per-shard costs
+without running anything, `repro merge` unions the per-shard manifests
+back into one, and `repro report --from-manifest` renders it (with the
+recorded wall times) without running anything.
 """
 
 from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
@@ -167,10 +172,65 @@ def build_parser() -> argparse.ArgumentParser:
         "exactly once)",
     )
     p_sweep.add_argument(
+        "--balance",
+        choices=("hash", "cost"),
+        default="hash",
+        help="how --shard partitions scenarios: 'hash' (stable content "
+        "hash, balanced in count) or 'cost' (deterministic LPT bin packing "
+        "over analytic cost estimates, balanced in expected wall time; "
+        "every host must pass the same mode)",
+    )
+    p_sweep.add_argument(
         "--inference",
         action="store_true",
         help="measure batch inference (Fig. 13) instead of training times; "
         "results persist in their own result-store namespace",
+    )
+
+    p_plan = sub.add_parser(
+        "plan",
+        parents=[common],
+        help="predict per-shard sweep costs without running anything",
+        description="Expand the sweep axes exactly like `repro sweep` and "
+        "print the predicted per-scenario and per-shard cost tables for an "
+        "N-way partition -- nothing is trained or simulated.  Costs come "
+        "from an analytic estimator (trees x depth x records x scale), "
+        "calibrated by the wall times recorded in the persistent result "
+        "store when scenarios have run before.",
+    )
+    p_plan.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
+    p_plan.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="sweep axis (repeatable), exactly as `repro sweep --axis`",
+    )
+    p_plan.add_argument(
+        "--systems",
+        nargs="*",
+        default=None,
+        help="hardware models of the target sweep",
+    )
+    p_plan.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of hosts the sweep would shard across (default: 1)",
+    )
+    p_plan.add_argument(
+        "--balance",
+        choices=("hash", "cost"),
+        default="cost",
+        help="partitioner to predict for (default: cost; use 'hash' to see "
+        "what the count-balanced partition would cost)",
+    )
+    p_plan.add_argument(
+        "--inference",
+        action="store_true",
+        help="plan an inference sweep (calibrates from the inference-mode "
+        "result namespace)",
     )
 
     p_merge = sub.add_parser(
@@ -305,12 +365,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.axis:
         return _cmd_sweep_axes(args)
-    if args.out or args.resume or args.shard or args.inference:
+    if args.out or args.resume or args.shard or args.inference or args.balance != "hash":
         # Silently ignoring these would leave a scripted caller waiting on a
         # manifest that never appears (or a shard that never ran).
         print(
-            "--out/--resume/--shard/--inference apply to axis sweeps; add "
-            "at least one --axis NAME=V1,V2,...",
+            "--out/--resume/--shard/--balance/--inference apply to axis "
+            "sweeps; add at least one --axis NAME=V1,V2,...",
             file=sys.stderr,
         )
         return 2
@@ -442,6 +502,12 @@ def _metric_header(mode: str) -> str:
     return "booster (ms)" if mode == "inference" else "booster (s)"
 
 
+def _duration_cell(result) -> str:
+    """The recorded wall-seconds table cell (``-`` when never recorded:
+    error results and manifests written before durations existed)."""
+    return "-" if result.duration_s is None else f"{result.duration_s:.2f}"
+
+
 def _infer_axes(scenarios) -> list[str]:
     """The axes along which ``scenarios`` actually vary (for ``report``).
 
@@ -475,50 +541,64 @@ def _infer_axes(scenarios) -> list[str]:
     return varying or ["dataset"]
 
 
+def _expand_cli_scenarios(args: argparse.Namespace):
+    """Validate and expand the sweep-shaped CLI inputs shared by ``sweep``,
+    ``plan``, and ``cache export``: ``--dataset/--seed/--trees/--systems``
+    plus repeatable ``--axis`` specs.  Returns ``(axes, scenarios)``;
+    raises ``ValueError``/``KeyError`` with a printable message, so the
+    two commands cannot drift in what they accept.
+    """
+    from .experiments import ScenarioSpec, expand_axes, parse_axis_specs
+    from .gbdt import TrainParams
+    from .sim.executor import MODEL_NAMES
+
+    unknown_systems = [s for s in (args.systems or []) if s not in MODEL_NAMES]
+    if unknown_systems:
+        raise ValueError(
+            f"unknown systems {unknown_systems}; known: {list(MODEL_NAMES)}"
+        )
+    axes = parse_axis_specs(args.axis)
+    base = ScenarioSpec(
+        dataset=args.dataset,
+        seed=args.seed,
+        train=TrainParams(n_trees=args.trees),
+        systems=tuple(args.systems) if args.systems else (),
+    )
+    scenarios = expand_axes(base, axes)
+    for scenario in scenarios:
+        scenario.resolved_records()  # rejects unknown dataset axis values
+    return axes, scenarios
+
+
 def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     """Scenario sweep over declared axes (the experiments layer)."""
     from .experiments import (
         ResultStore,
-        ScenarioSpec,
         SweepRunner,
         default_cache,
-        expand_axes,
-        parse_axis_specs,
         parse_shard_spec,
+        partition_scenarios,
         read_axis,
         result_store_key,
         scenario_key,
-        shard_scenarios,
     )
-    from .gbdt import TrainParams
-
-    from .sim.executor import MODEL_NAMES
 
     mode = "inference" if args.inference else "compare"
     try:
         if args.resume and not args.out:
             raise ValueError("--resume requires --out (the manifest to resume from)")
+        if args.balance == "cost" and not args.shard:
+            raise ValueError(
+                "--balance cost selects how --shard partitions scenarios; "
+                "add --shard K/N (or use `repro plan` to preview shard costs)"
+            )
         if args.resume and args.refresh:
             raise ValueError(
                 "--refresh forces recomputation and --resume skips completed "
                 "scenarios; the combination is contradictory -- drop one"
             )
-        unknown_systems = [s for s in (args.systems or []) if s not in MODEL_NAMES]
-        if unknown_systems:
-            raise ValueError(
-                f"unknown systems {unknown_systems}; known: {list(MODEL_NAMES)}"
-            )
         shard = parse_shard_spec(args.shard) if args.shard else None
-        axes = parse_axis_specs(args.axis)
-        base = ScenarioSpec(
-            dataset=args.dataset,
-            seed=args.seed,
-            train=TrainParams(n_trees=args.trees),
-            systems=tuple(args.systems) if args.systems else (),
-        )
-        scenarios = expand_axes(base, axes)
-        for scenario in scenarios:
-            scenario.resolved_records()  # rejects unknown dataset axis values
+        axes, scenarios = _expand_cli_scenarios(args)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
@@ -528,10 +608,14 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     total = len(scenarios)
     if shard is not None:
         # Partition BEFORE any cache/manifest work: ownership is a stable
-        # function of scenario content, so every host slices the identical
-        # expanded list the same way and the shards are a disjoint cover.
+        # function of scenario content (hash or analytic LPT -- never of
+        # host-local observed durations, which would differ per store), so
+        # every host slices the identical expanded list the same way and
+        # the shards are a disjoint cover.
         shard_index, shard_count = shard
-        scenarios = shard_scenarios(scenarios, shard_index, shard_count)
+        scenarios = partition_scenarios(
+            scenarios, shard_index, shard_count, balance=args.balance, mode=mode
+        )
     if args.refresh:
         for scenario in scenarios:
             try:
@@ -560,8 +644,9 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
 
     axis_names = list(axes)
     what = "inference sweep" if mode == "inference" else "sweep"
+    balance_note = ", cost-balanced" if args.balance == "cost" else ""
     shard_note = (
-        f" (shard {shard_index + 1}/{shard_count} of {total})"
+        f" (shard {shard_index + 1}/{shard_count} of {total}{balance_note})"
         if shard is not None
         else ""
     )
@@ -689,6 +774,98 @@ def _cmd_sweep_design_space(args: argparse.Namespace) -> int:
             rows,
             title=f"design space on {args.dataset} (paper point: 3200 BUs)",
         )
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Predict per-shard sweep costs without training or simulating.
+
+    Expands the axes exactly like ``repro sweep``, prices every scenario
+    with the analytic estimator calibrated by any wall times already
+    recorded in the result store, and prints the per-scenario and
+    per-shard tables for the requested partitioner.  The closing
+    ``predicted max shard cost`` line is deliberately machine-greppable --
+    CI compares it between ``--balance cost`` and ``--balance hash``.
+    """
+    from .experiments import (
+        ResultStore,
+        default_cache,
+        observed_durations,
+        plan_shards,
+        read_axis,
+        scenario_costs,
+        scenario_key,
+    )
+
+    mode = "inference" if args.inference else "compare"
+    try:
+        if args.shards < 1:
+            raise ValueError(f"--shards must be >= 1, got {args.shards}")
+        axes, scenarios = _expand_cli_scenarios(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+
+    results_store = ResultStore(root=default_cache().root)
+    observed = observed_durations(results_store, scenarios, mode)
+    costs = scenario_costs(scenarios, mode, observed)
+    plans = plan_shards(
+        scenarios, args.shards, balance=args.balance, mode=mode, costs=costs
+    )
+    owner = {
+        scenario_key(s): plan.shard for plan in plans for s in plan.scenarios
+    }
+
+    axis_names = list(axes)
+    scenario_rows = []
+    for scenario in scenarios:
+        cells = []
+        for name in axis_names:
+            try:
+                cells.append(str(read_axis(scenario, name)))
+            except Exception:
+                cells.append("?")
+        key = scenario_key(scenario)
+        scenario_rows.append(
+            cells
+            + [
+                f"{costs[key]:.4g}",
+                "observed" if key in observed else "estimated",
+                str(owner[key] + 1),
+            ]
+        )
+    what = "inference sweep" if mode == "inference" else "sweep"
+    print(
+        render_table(
+            (axis_names or ["dataset"]) + ["cost", "source", "shard"],
+            scenario_rows
+            if axis_names
+            else [[args.dataset] + row[-3:] for row in scenario_rows],
+            title=f"{what} plan: {len(scenarios)} scenarios, "
+            f"{args.shards} shard(s), balance={args.balance}",
+        )
+    )
+    print()
+    total = sum(plan.cost for plan in plans)
+    shard_rows = [
+        [
+            str(plan.shard + 1),
+            str(plan.n_scenarios),
+            f"{plan.cost:.4g}",
+            f"{100.0 * plan.cost / total:.1f}%" if total > 0 else "-",
+        ]
+        for plan in plans
+    ]
+    print(render_table(["shard", "scenarios", "cost", "share"], shard_rows))
+    if observed:
+        print(
+            f"calibration: {len(observed)}/{len({scenario_key(s) for s in scenarios})} "
+            f"scenario(s) have recorded wall times in the result store"
+        )
+    print(
+        f"predicted max shard cost: {max(plan.cost for plan in plans):.6g} "
+        f"(balance={args.balance}, total {total:.6g})"
     )
     return 0
 
@@ -830,7 +1007,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         rows.append(
             cells
             + _metric_cells(result)
-            + [_provenance(result), str(result.worker_pid)]
+            + [_duration_cell(result), _provenance(result), str(result.worker_pid)]
         )
         failures += result.error is not None
     if skipped:
@@ -847,11 +1024,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     )
     print(
         render_table(
-            axis_names + [_metric_header(mode), "speedup", "training", "pid"],
+            axis_names + [_metric_header(mode), "speedup", "wall (s)", "training", "pid"],
             rows,
             title=title,
         )
     )
+    durations = [r.duration_s for r in entries if r.duration_s is not None]
+    if durations:
+        print(
+            f"recorded wall time: {sum(durations):.2f} s over "
+            f"{len(durations)}/{len(entries)} scenario(s)"
+        )
     if failures:
         print(f"{failures} scenario(s) failed in this manifest", file=sys.stderr)
     return 0
@@ -867,29 +1050,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print("the default cache has no disk root; nothing to move", file=sys.stderr)
         return 2
     if args.cache_command == "import":
-        imported = import_entries(cache.root, args.archive)
+        try:
+            imported = import_entries(cache.root, args.archive)
+        except ValueError as exc:
+            # A crafted/corrupt archive (path components that could escape
+            # the store directory) is rejected before anything is written.
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
         print(f"imported {len(imported)} entr(ies) into {cache.root}")
         return 0
 
     keys = None
     if args.axis:
-        from .experiments import (
-            ScenarioSpec,
-            expand_axes,
-            parse_axis_specs,
-            result_store_key,
-        )
-        from .gbdt import TrainParams
+        from .experiments import result_store_key
 
         try:
-            axes = parse_axis_specs(args.axis)
-            base = ScenarioSpec(
-                dataset=args.dataset,
-                seed=args.seed,
-                train=TrainParams(n_trees=args.trees),
-                systems=tuple(args.systems) if args.systems else (),
-            )
-            scenarios = expand_axes(base, axes)
+            _, scenarios = _expand_cli_scenarios(args)
             keys = set()
             for scenario in scenarios:
                 keys.add(scenario.train_key())
@@ -920,6 +1096,7 @@ _COMMANDS = {
     "inference": _cmd_inference,
     "figures": _cmd_figures,
     "sweep": _cmd_sweep,
+    "plan": _cmd_plan,
     "merge": _cmd_merge,
     "report": _cmd_report,
     "cache": _cmd_cache,

@@ -14,7 +14,11 @@ design point x scale x systems) tuple -- a first-class object:
   experiments are replayed instead of re-simulated;
 * :class:`SweepRunner` -- cartesian-product sweep expansion over scenario
   axes, executed across a :mod:`concurrent.futures` process pool with
-  results (including per-scenario failures) streamed as they complete.
+  results (including per-scenario failures) streamed as they complete;
+* :mod:`~repro.experiments.schedule` -- cost-balanced multi-host shard
+  scheduling: an analytic per-scenario cost estimator calibrated by the
+  wall times recorded in the result store, and a deterministic LPT
+  partitioner behind ``repro sweep --balance cost`` / ``repro plan``.
 
 The classic :class:`repro.sim.Executor` is a thin facade over this layer;
 see ``docs/experiments.md`` for the full tour.
@@ -39,6 +43,17 @@ from .pipeline import (
     train_scenario_tracked,
 )
 from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, cost_overrides_from
+from .schedule import (
+    BALANCE_MODES,
+    ShardPlan,
+    cost_partition,
+    estimate_cost,
+    lpt_assign,
+    observed_durations,
+    partition_scenarios,
+    plan_shards,
+    scenario_costs,
+)
 from .runner import (
     AXIS_NAMES,
     CANONICAL_AXES,
@@ -59,6 +74,7 @@ from .runner import (
 
 __all__ = [
     "AXIS_NAMES",
+    "BALANCE_MODES",
     "CACHE_VERSION",
     "CANONICAL_AXES",
     "DEFAULT_SYSTEMS",
@@ -67,23 +83,31 @@ __all__ = [
     "ResultStore",
     "SWEEP_MODES",
     "ScenarioSpec",
+    "ShardPlan",
     "SweepResult",
     "SweepRunner",
     "apply_axis",
     "benchmark_dataset",
     "clear_memory_caches",
     "cost_overrides_from",
+    "cost_partition",
     "default_cache",
     "default_cache_dir",
+    "estimate_cost",
     "expand_axes",
     "export_entries",
     "import_entries",
     "is_trained",
+    "lpt_assign",
+    "observed_durations",
     "parse_axis_specs",
     "parse_shard_spec",
+    "partition_scenarios",
+    "plan_shards",
     "read_axis",
     "result_store_key",
     "run_scenario",
+    "scenario_costs",
     "scenario_key",
     "shard_of",
     "shard_scenarios",

@@ -300,11 +300,18 @@ def export_entries(root, tar_path, keys=None) -> list[str]:
 def import_entries(root, tar_path) -> list[str]:
     """Unpack :func:`export_entries` archives into a cache directory.
 
-    Only regular members whose (flattened) name looks like a store entry
-    are extracted -- path components are stripped, so a crafted archive
-    cannot write outside ``root``.  Entries land atomically (temp file +
-    rename), the same protocol concurrent sweep workers use, so importing
-    into a live cache directory is safe.  Returns the imported entry names.
+    Only regular members whose name looks like a store entry are
+    extracted.  :func:`export_entries` archives are flat basenames, so a
+    member carrying any path structure (``sub/x.pkl``, ``../x.pkl``, an
+    absolute path, a directory) is a crafted or corrupt archive trying to
+    reach outside the store directory; the whole import is rejected up
+    front -- before anything is extracted -- rather than silently
+    flattening or skipping it.  Flat non-entry members (wrong suffix,
+    links) are tolerated and skipped, as everywhere else stores are read.
+    Entries
+    land atomically (temp file + rename), the same protocol concurrent
+    sweep workers use, so importing into a live cache directory is safe.
+    Returns the imported entry names.
     """
     import tarfile
 
@@ -312,8 +319,17 @@ def import_entries(root, tar_path) -> list[str]:
     root.mkdir(parents=True, exist_ok=True)
     imported: list[str] = []
     with tarfile.open(tar_path, "r") as tar:
-        for member in tar.getmembers():
-            name = os.path.basename(member.name)
+        members = tar.getmembers()
+        for member in members:
+            name = member.name
+            if os.path.basename(name) != name or not name or name in (".", ".."):
+                raise ValueError(
+                    f"refusing to import archive member {member.name!r}: "
+                    f"store entries are flat filenames, and a path component "
+                    f"could escape the store directory"
+                )
+        for member in members:
+            name = member.name
             if not member.isreg() or Path(name).suffix not in _ENTRY_SUFFIXES:
                 continue
             fh = tar.extractfile(member)

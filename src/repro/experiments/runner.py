@@ -24,10 +24,12 @@ than dropped, so one bad point never loses the rest of the sweep.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import math
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, fields as dc_fields, replace
 from typing import Iterable, Iterator, Sequence
@@ -268,6 +270,13 @@ class SweepResult:
     that aborts the sweep; ``stored=True`` marks a result served from the
     persistent :class:`ResultStore` (zero training *and* zero simulation in
     this run).
+
+    ``duration_s`` is the wall-clock the *original* execution took (train +
+    simulate, as measured by :func:`run_scenario`); a replayed result keeps
+    the duration it recorded when it actually ran, so manifests and the
+    result store double as the calibration corpus for cost-balanced shard
+    scheduling (:mod:`repro.experiments.schedule`).  Error results -- and
+    lines from manifests written before durations existed -- carry ``None``.
     """
 
     scenario: ScenarioSpec
@@ -278,6 +287,7 @@ class SweepResult:
     stored: bool = False  # result replayed from the result store
     inference: InferenceResult | None = None  # set in "inference" mode
     kind: str = "compare"  # which SWEEP_MODES measurement this is
+    duration_s: float | None = None  # wall seconds of the original execution
 
     @property
     def ok(self) -> bool:
@@ -312,12 +322,14 @@ class SweepResult:
             "stored": self.stored,
             "worker_pid": self.worker_pid,
             "error": self.error,
+            "duration_s": self.duration_s,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepResult":
         comparison = d.get("comparison")
         inference = d.get("inference")
+        duration = d.get("duration_s")  # absent in pre-duration manifests
         return cls(
             scenario=ScenarioSpec.from_dict(d["scenario"]),
             comparison=None if comparison is None else ComparisonResult.from_dict(comparison),
@@ -327,9 +339,11 @@ class SweepResult:
             stored=bool(d.get("stored", False)),
             inference=None if inference is None else InferenceResult.from_dict(inference),
             kind=d.get("kind", "compare"),
+            duration_s=None if duration is None else float(duration),
         )
 
 
+@functools.lru_cache(maxsize=4096)
 def scenario_key(scenario: ScenarioSpec) -> str:
     """``cache_key()`` with a stable fallback for unkeyable scenarios.
 
@@ -341,6 +355,10 @@ def scenario_key(scenario: ScenarioSpec) -> str:
     host computes the same owner shard for an unkeyable scenario, which is
     then reported there as a structured ``SweepResult(error=...)`` line
     rather than crashing the partitioner before any manifest is written.
+
+    Memoized: the key is a pure function of the (frozen, hashable)
+    scenario's content, and sweep bookkeeping, sharding, and cost
+    scheduling all ask for the same keys repeatedly.
     """
     try:
         return scenario.cache_key()
@@ -486,6 +504,7 @@ def run_scenario(
     stored = _stored_result(scenario, results, mode)
     if stored is not None:
         return stored
+    start = time.perf_counter()
     executor = Executor.from_scenario(scenario, cache=cache)
     comparison = inference = None
     if mode == "inference":
@@ -507,6 +526,7 @@ def run_scenario(
         worker_pid=os.getpid(),
         inference=inference,
         kind=mode,
+        duration_s=time.perf_counter() - start,
     )
     results.put(
         result_store_key(scenario, mode),

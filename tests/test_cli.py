@@ -543,6 +543,60 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count("[stored]") == 2
 
+    def test_old_manifest_without_durations_resumes_merges_reports(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A manifest written before wall times existed (no duration_s
+        field) must still resume completely, merge cleanly, and report --
+        with `-` duration cells and no wall-time total."""
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "old.jsonl"
+        argv = self.SWEEP_ARGV + ["--out", str(manifest)]
+        assert main(argv) == 0
+        lines = []
+        for line in manifest.read_text().splitlines():
+            d = json.loads(line)
+            del d["duration_s"]  # age the manifest to the pre-duration format
+            lines.append(json.dumps(d))
+        manifest.write_text("".join(l + "\n" for l in lines))
+        capsys.readouterr()
+
+        self._tripwire_runs(monkeypatch)
+        assert main(argv + ["--resume"]) == 0
+        assert "resume: 2/2 scenarios already in" in capsys.readouterr().out
+        merged = tmp_path / "merged.jsonl"
+        assert main(["merge", str(merged), str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--from-manifest", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "wall (s)" in out
+        assert "recorded wall time" not in out  # nothing was recorded
+
+    def test_cache_import_rejects_escaping_archive(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """`repro cache import` of a crafted archive whose members carry
+        path components exits 2 without writing anything."""
+        import io
+        import tarfile
+
+        import repro.experiments.cache as cache_mod
+
+        store = tmp_path / "store"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(store))
+        monkeypatch.setattr(cache_mod, "_DEFAULT_CACHE", None)
+        evil = tmp_path / "evil.tar"
+        with tarfile.open(evil, "w") as tar:
+            info = tarfile.TarInfo("../escape.pkl")
+            info.size = 7
+            tar.addfile(info, io.BytesIO(b"payload"))
+        assert main(["cache", "import", str(evil)]) == 2
+        assert "refusing to import" in capsys.readouterr().err
+        assert not (tmp_path / "escape.pkl").exists()
+        assert list(store.iterdir()) == []
+
     def test_cache_export_unfiltered_and_bad_axis(self, capsys, monkeypatch, tmp_path):
         import tarfile
 

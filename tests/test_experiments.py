@@ -705,6 +705,107 @@ class TestResultStore:
             again.booster_speedup
 
 
+class TestDurations:
+    """Recorded wall times: the calibration corpus for cost-balanced
+    shard scheduling (see test_schedule.py for the scheduler itself)."""
+
+    def test_fresh_run_records_wall_time(self, tmp_path):
+        result = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert result.duration_s is not None
+        assert result.duration_s > 0
+
+    def test_stored_replay_keeps_original_duration(self, tmp_path, monkeypatch):
+        """A replayed result reports the wall time of the execution that
+        actually ran, not the (near-zero) replay."""
+        first = run_scenario(TINY, ProfileCache(root=tmp_path))
+        monkeypatch.setattr(
+            "repro.experiments.pipeline.train", _tripwire("train() on replay")
+        )
+        monkeypatch.setattr(
+            "repro.sim.executor.Executor.from_scenario",
+            _tripwire("simulated on replay"),
+        )
+        second = run_scenario(TINY, ProfileCache(root=tmp_path))
+        assert second.stored
+        assert second.duration_s == first.duration_s
+
+    def test_duration_json_roundtrip(self, tmp_path):
+        result = run_scenario(TINY, ProfileCache(root=tmp_path))
+        again = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert again.duration_s == pytest.approx(result.duration_s)
+
+    def test_missing_duration_loads_as_none(self, tmp_path):
+        """Manifests and store payloads written before durations existed
+        must load as ``duration_s=None``, not crash resume/merge/report."""
+        result = run_scenario(TINY, ProfileCache(root=tmp_path))
+        d = result.to_dict()
+        del d["duration_s"]  # a pre-duration manifest line
+        again = SweepResult.from_dict(json.loads(json.dumps(d)))
+        assert again.duration_s is None
+        assert again.comparison is not None and again.ok
+
+    def test_error_results_carry_no_duration(self, tmp_path):
+        bad = replace(TINY, systems=("no-such-system",))
+        (result,) = SweepRunner(
+            cache=ProfileCache(root=tmp_path), parallel=False
+        ).run_all([bad])
+        assert result.error is not None
+        assert result.duration_s is None
+        assert SweepResult.from_dict(result.to_dict()).duration_s is None
+
+
+class TestImportHardening:
+    """`repro cache import` must never write outside the store directory."""
+
+    @staticmethod
+    def _tar_with(tar_path, members):
+        import io
+        import tarfile
+
+        with tarfile.open(tar_path, "w") as tar:
+            for name, data in members:
+                info = tarfile.TarInfo(name)
+                info.size = len(data)
+                tar.addfile(info, io.BytesIO(data))
+
+    def test_rejects_members_with_path_components(self, tmp_path):
+        from repro.experiments import import_entries
+
+        root = tmp_path / "store"
+        for evil in ("../escape.pkl", "sub/nested.json", "/abs.pkl", ".."):
+            tar_path = tmp_path / "evil.tar"
+            self._tar_with(tar_path, [(evil, b"payload")])
+            with pytest.raises(ValueError, match="refusing to import"):
+                import_entries(root, tar_path)
+        assert not (tmp_path / "escape.pkl").exists()
+        assert list(root.iterdir()) == []  # nothing was extracted
+
+    def test_rejects_whole_archive_before_extracting(self, tmp_path):
+        """Validation is up front: a valid entry listed before the crafted
+        one must not land on disk either."""
+        from repro.experiments import import_entries
+
+        root = tmp_path / "store"
+        tar_path = tmp_path / "mixed.tar"
+        self._tar_with(
+            tar_path, [("sgood.json", b"{}"), ("../escape.pkl", b"payload")]
+        )
+        with pytest.raises(ValueError, match="refusing to import"):
+            import_entries(root, tar_path)
+        assert not (root / "sgood.json").exists()
+
+    def test_flat_non_entries_are_skipped(self, tmp_path):
+        from repro.experiments import import_entries
+
+        root = tmp_path / "store"
+        tar_path = tmp_path / "ok.tar"
+        self._tar_with(
+            tar_path, [("README.txt", b"notes"), ("sdeadbeef.json", b"{}")]
+        )
+        assert import_entries(root, tar_path) == ["sdeadbeef.json"]
+        assert sorted(p.name for p in root.iterdir()) == ["sdeadbeef.json"]
+
+
 class TestFaultTolerance:
     def test_serial_sweep_survives_failing_scenario(self, tmp_path):
         """One bad scenario yields a structured error; the rest complete."""
