@@ -8,7 +8,7 @@ the paper's RTL validation of the rate-matching equations.
 
 import pytest
 
-from repro.core import BoosterConfig, BroadcastBus, PAPER_CONFIG, simulate_step1_micro
+from repro.core import BroadcastBus, PAPER_CONFIG, simulate_step1_micro
 from repro.datasets import dataset_spec
 from repro.sim.report import render_table
 

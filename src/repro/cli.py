@@ -12,6 +12,8 @@ Installed as the ``repro`` console script::
     repro sweep --axis n_bus=1600,3200 --out results/sweeps/bus.jsonl --resume
     repro sweep --axis seed=1,2,3 --shard 1/2 --out shard1.jsonl  # host 1 of 2
     repro sweep --axis trees=50,400 --shard 1/2 --balance cost --out s1.jsonl
+    repro sweep --axis seed=1,2,3 --coordinate /shared/lease --out w1.jsonl
+    repro steal-status /shared/lease    # who holds what, what is claimable
     repro plan --axis trees=50,400 --axis scale=1,8 --shards 2  # predict costs
     repro merge merged.jsonl shard1.jsonl shard2.jsonl  # union shard manifests
     repro report --from-manifest merged.jsonl           # render, zero re-runs
@@ -25,6 +27,12 @@ import argparse
 import json
 import pathlib
 import sys
+
+from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
+from .gbdt import TrainParams, train, train_level_wise
+from .sim.artifacts import ARTIFACTS, build
+from .sim.executor import Executor
+from .sim.report import render_table
 
 _EPILOG = """\
 examples:
@@ -46,14 +54,13 @@ hash (--balance hash, the default) or by LPT bin packing over estimated
 scenario costs (--balance cost); `repro plan` predicts the per-shard costs
 without running anything, `repro merge` unions the per-shard manifests
 back into one, and `repro report --from-manifest` renders it (with the
-recorded wall times) without running anything.
+recorded wall times) without running anything.  --coordinate DIR replaces
+the static partition with dynamic work stealing: workers claim scenarios
+at runtime through atomic lease files in a shared directory (crashed
+workers' stale leases are reclaimed), `repro steal-status DIR` shows the
+live ledger, and `repro merge` unions the per-worker manifests the same
+way it unions shard manifests.
 """
-
-from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
-from .gbdt import TrainParams, train, train_level_wise
-from .sim.artifacts import ARTIFACTS, build
-from .sim.executor import Executor
-from .sim.report import render_table
 
 __all__ = ["main", "build_parser"]
 
@@ -185,6 +192,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure batch inference (Fig. 13) instead of training times; "
         "results persist in their own result-store namespace",
+    )
+    p_sweep.add_argument(
+        "--coordinate",
+        metavar="DIR",
+        default=None,
+        help="work-stealing mode: claim scenarios at runtime through atomic "
+        "lease files in this shared directory (most expensive scenario "
+        "first) instead of running a fixed --shard partition; every worker "
+        "pointed at the same directory drains the same sweep, and stale "
+        "leases from crashed workers are reclaimed",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --coordinate: seconds after which an unrenewed lease "
+        "counts as abandoned and may be stolen (default: 300; set it well "
+        "above the longest single scenario's wall time)",
+    )
+
+    p_status = sub.add_parser(
+        "steal-status",
+        help="inspect a work-stealing sweep's lease directory",
+        description="Summarize a --coordinate lease directory: which "
+        "scenarios are done, failed, running, or stale (claimable), and by "
+        "which host/pid.  Purely a read -- nothing is claimed, stolen, or "
+        "run.",
+    )
+    p_status.add_argument("dir", help="the --coordinate directory to inspect")
+    p_status.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="staleness horizon used for display (default: 300)",
     )
 
     p_plan = sub.add_parser(
@@ -365,12 +408,21 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.axis:
         return _cmd_sweep_axes(args)
-    if args.out or args.resume or args.shard or args.inference or args.balance != "hash":
+    if (
+        args.out
+        or args.resume
+        or args.shard
+        or args.inference
+        or args.coordinate
+        or args.lease_ttl is not None
+        or args.balance != "hash"
+    ):
         # Silently ignoring these would leave a scripted caller waiting on a
         # manifest that never appears (or a shard that never ran).
         print(
-            "--out/--resume/--shard/--balance/--inference apply to axis "
-            "sweeps; add at least one --axis NAME=V1,V2,...",
+            "--out/--resume/--shard/--balance/--inference/--coordinate/"
+            "--lease-ttl apply to axis sweeps; add at least one "
+            "--axis NAME=V1,V2,...",
             file=sys.stderr,
         )
         return 2
@@ -597,11 +649,35 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
                 "--refresh forces recomputation and --resume skips completed "
                 "scenarios; the combination is contradictory -- drop one"
             )
+        if args.coordinate and args.shard:
+            raise ValueError(
+                "--coordinate (dynamic work stealing) and --shard (static "
+                "partition) are alternative ways to split a sweep across "
+                "hosts; pick one"
+            )
+        if args.coordinate and args.workers is not None:
+            raise ValueError(
+                "--coordinate workers run their claimed scenarios one at a "
+                "time; for parallelism start more workers sharing the "
+                "directory instead of passing --workers"
+            )
+        if args.lease_ttl is not None and not args.coordinate:
+            raise ValueError("--lease-ttl only applies with --coordinate DIR")
+        if args.lease_ttl is not None and args.lease_ttl <= 0:
+            raise ValueError(
+                f"--lease-ttl must be positive, got {args.lease_ttl:g}"
+            )
         shard = parse_shard_spec(args.shard) if args.shard else None
         axes, scenarios = _expand_cli_scenarios(args)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
+    coordinator = None
+    if args.coordinate:
+        from .experiments.steal import DEFAULT_LEASE_TTL, Coordinator
+
+        ttl = args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+        coordinator = Coordinator(args.coordinate, ttl=ttl)
 
     cache = default_cache()
     results_store = ResultStore(root=cache.root)
@@ -650,6 +726,8 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
         if shard is not None
         else ""
     )
+    if coordinator is not None:
+        shard_note = f" (stealing from {coordinator.root}, lease TTL {coordinator.ttl:g}s)"
     print(
         f"{what}: {len(scenarios)} scenarios over axes "
         f"{', '.join(axis_names)}{shard_note} (cache: {cache.root})"
@@ -703,28 +781,64 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     runner = SweepRunner(
         cache=cache,
         max_workers=args.workers,
-        parallel=not args.serial,
+        parallel=not args.serial and coordinator is None,
         results=results_store,
         mode=mode,
     )
-    try:
-        for sub_index, result in runner.run_indexed([s for _, s in pending]):
-            index = pending[sub_index][0]
+
+    def emit(index, result) -> None:
+        """Record one completed result: table row, manifest line, progress."""
+        nonlocal failures
+        if index is not None:
             ordered[index] = to_row(result)
-            if manifest_fh is not None:
-                manifest_fh.write(json.dumps(result.to_dict()) + "\n")
-                manifest_fh.flush()
-            cells = "x".join(axis_cells(result.scenario))
-            if result.error is not None:
-                failures += 1
-                print(f"  FAILED {cells}: {result.error}")
-            else:
-                row = ordered[index]
-                label = {"hit": "cache hit"}.get(_provenance(result), _provenance(result))
-                print(f"  done {cells}: booster {row[-4]} {unit} ({row[-3]}) [{label}]")
+        if manifest_fh is not None:
+            manifest_fh.write(json.dumps(result.to_dict()) + "\n")
+            manifest_fh.flush()
+        cells = "x".join(axis_cells(result.scenario))
+        if result.error is not None:
+            failures += 1
+            print(f"  FAILED {cells}: {result.error}")
+        else:
+            metric, speedup = _metric_cells(result)
+            label = {"hit": "cache hit"}.get(_provenance(result), _provenance(result))
+            print(f"  done {cells}: booster {metric} {unit} ({speedup}) [{label}]")
+
+    claimed = 0
+    try:
+        if coordinator is not None:
+            # Work-stealing mode: the lease directory decides who runs what,
+            # so this worker's table holds only the scenarios it claimed
+            # (plus its own resumed rows); `repro merge` over the workers'
+            # manifests reassembles the whole sweep.
+            slots: dict[str, list[int]] = {}
+            for i, s in enumerate(scenarios):
+                if i not in resumed:
+                    slots.setdefault(scenario_key(s), []).append(i)
+            completed_keys = {scenario_key(scenarios[i]) for i in resumed}
+            try:
+                for result in runner.run_stealing(
+                    scenarios, coordinator, completed=completed_keys
+                ):
+                    claimed += 1
+                    bucket = slots.get(scenario_key(result.scenario))
+                    emit(bucket.pop(0) if bucket else None, result)
+            except ValueError as exc:
+                # e.g. the directory is coordinating a different sweep.
+                print(exc.args[0] if exc.args else exc, file=sys.stderr)
+                return 2
+        else:
+            for sub_index, result in runner.run_indexed([s for _, s in pending]):
+                emit(pending[sub_index][0], result)
     finally:
         if manifest_fh is not None:
             manifest_fh.close()
+    if coordinator is not None:
+        distinct = len({scenario_key(s) for s in scenarios})
+        print(
+            f"steal: claimed {claimed}/{distinct} scenario(s) "
+            f"(lease dir: {coordinator.root}, "
+            f"{coordinator.stolen} stale lease(s) reclaimed)"
+        )
 
     rows = [row for row in ordered if row is not None]
     print()
@@ -861,7 +975,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     if observed:
         print(
             f"calibration: {len(observed)}/{len({scenario_key(s) for s in scenarios})} "
-            f"scenario(s) have recorded wall times in the result store"
+            "scenario(s) have recorded wall times in the result store"
         )
     print(
         f"predicted max shard cost: {max(plan.cost for plan in plans):.6g} "
@@ -950,7 +1064,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         f"merged {len(inputs)} manifest(s) -> {out}: {len(order)} scenarios "
         f"({len(order) - errors} ok, {errors} failed; "
         f"{collapsed} duplicate line(s) dropped, {skipped} unparseable "
-        f"line(s) skipped)"
+        "line(s) skipped)"
     )
     return 0
 
@@ -1080,6 +1194,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_steal_status(args: argparse.Namespace) -> int:
+    """Render a work-stealing lease directory: the sweep's live ledger."""
+    import time
+
+    from .experiments.steal import DEFAULT_LEASE_TTL, steal_status
+
+    ttl = args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+    if ttl <= 0:
+        print(f"--lease-ttl must be positive, got {ttl:g}", file=sys.stderr)
+        return 2
+    status = steal_status(args.dir, ttl=ttl)
+    if status is None:
+        print(f"no such lease directory: {args.dir}", file=sys.stderr)
+        return 2
+    now = time.time()
+    rows = []
+    for lease, state in status["rows"]:
+        # For finished scenarios `renewed` is the completion stamp, so
+        # renewed-started is the held wall time; for running ones the
+        # clock is still ticking.
+        wall = (lease.renewed if lease.done else now) - lease.started
+        rows.append(
+            [
+                lease.key,
+                lease.host,
+                str(lease.pid or "?"),
+                state,
+                f"{wall:.1f}",
+                f"{now - lease.renewed:.1f}",
+            ]
+        )
+    sweep = status["sweep"]
+    mode_note = f", {sweep['mode']}" if sweep and sweep.get("mode") else ""
+    print(
+        render_table(
+            ["scenario", "host", "pid", "state", "held (s)", "renewed (s ago)"],
+            rows,
+            title=f"work-stealing leases: {args.dir}{mode_note}",
+        )
+    )
+    counts = status["counts"]
+    summary = (
+        f"{counts['done']} done, {counts['failed']} failed, "
+        f"{counts['running']} running, {counts['stale']} stale (claimable)"
+    )
+    if status["unclaimed"] is not None:
+        summary += f", {status['unclaimed']} unclaimed of {sweep['n_scenarios']} scenario(s)"
+    print(summary)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.validate import report, validate_all
 
@@ -1100,6 +1265,7 @@ _COMMANDS = {
     "merge": _cmd_merge,
     "report": _cmd_report,
     "cache": _cmd_cache,
+    "steal-status": _cmd_steal_status,
     "validate": _cmd_validate,
 }
 

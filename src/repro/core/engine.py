@@ -104,7 +104,13 @@ class BoosterEngine(HardwareModel):
         if mapping.field_passes > 1:
             # Field partitioning refetches g/h once per extra pass (Sec. III-C (1)).
             extra = (mapping.field_passes - 1) * sum(
-                float(np.sum(layout.stats_bytes_gather(t.n_binned[t.n_binned > 0], profile.n_records)))
+                float(
+                    np.sum(
+                        layout.stats_bytes_gather(
+                            t.n_binned[t.n_binned > 0], profile.n_records
+                        )
+                    )
+                )
                 for t in profile.trees
             )
             mem_bytes += extra

@@ -18,7 +18,12 @@ design point x scale x systems) tuple -- a first-class object:
 * :mod:`~repro.experiments.schedule` -- cost-balanced multi-host shard
   scheduling: an analytic per-scenario cost estimator calibrated by the
   wall times recorded in the result store, and a deterministic LPT
-  partitioner behind ``repro sweep --balance cost`` / ``repro plan``.
+  partitioner behind ``repro sweep --balance cost`` / ``repro plan``;
+* :mod:`~repro.experiments.steal` -- dynamic work stealing over a shared
+  lease directory (``repro sweep --coordinate DIR``): workers claim
+  scenarios at runtime through atomic lease files, renew leases while
+  running, and reclaim stale leases from crashed peers, turning the
+  static shard layer into an elastic pool.
 
 The classic :class:`repro.sim.Executor` is a thin facade over this layer;
 see ``docs/experiments.md`` for the full tour.
@@ -46,6 +51,7 @@ from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, cost_overrides_from
 from .schedule import (
     BALANCE_MODES,
     ShardPlan,
+    cost_order,
     cost_partition,
     estimate_cost,
     lpt_assign,
@@ -53,6 +59,14 @@ from .schedule import (
     partition_scenarios,
     plan_shards,
     scenario_costs,
+)
+from .steal import (
+    DEFAULT_LEASE_TTL,
+    Coordinator,
+    Lease,
+    LeaseLost,
+    lease_name,
+    steal_status,
 )
 from .runner import (
     AXIS_NAMES,
@@ -77,8 +91,12 @@ __all__ = [
     "BALANCE_MODES",
     "CACHE_VERSION",
     "CANONICAL_AXES",
+    "Coordinator",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_SYSTEMS",
     "KeyedStore",
+    "Lease",
+    "LeaseLost",
     "ProfileCache",
     "ResultStore",
     "SWEEP_MODES",
@@ -89,6 +107,7 @@ __all__ = [
     "apply_axis",
     "benchmark_dataset",
     "clear_memory_caches",
+    "cost_order",
     "cost_overrides_from",
     "cost_partition",
     "default_cache",
@@ -98,6 +117,7 @@ __all__ = [
     "export_entries",
     "import_entries",
     "is_trained",
+    "lease_name",
     "lpt_assign",
     "observed_durations",
     "parse_axis_specs",
@@ -112,6 +132,7 @@ __all__ = [
     "shard_of",
     "shard_scenarios",
     "sim_fingerprint",
+    "steal_status",
     "train_scenario",
     "train_scenario_tracked",
 ]

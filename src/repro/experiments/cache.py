@@ -35,12 +35,15 @@ __all__ = [
     "KeyedStore",
     "ProfileCache",
     "ResultStore",
+    "atomic_write_bytes",
     "code_fingerprint",
     "default_cache",
     "default_cache_dir",
     "export_entries",
     "import_entries",
     "sim_fingerprint",
+    "sweep_stale_tmp",
+    "validate_flat_name",
 ]
 
 #: File suffixes that may enter/leave a cache directory through the tar
@@ -59,6 +62,73 @@ TMP_SWEEP_AGE_SECONDS = 60.0
 
 _CODE_FINGERPRINT: str | None = None
 _SIM_FINGERPRINT: str | None = None
+
+
+def validate_flat_name(name: str, what: str = "archive member") -> None:
+    """Reject ``name`` unless it is a plain flat filename.
+
+    Everything that enters a store directory from outside -- tar members on
+    import, lease filenames in a shared work-stealing directory -- must be a
+    bare basename: a name carrying any path structure (``sub/x.pkl``,
+    ``../x.pkl``, an absolute path, ``.``/``..``) could reach outside the
+    directory it is written into.  One shared gate keeps the import path and
+    the lease code from drifting apart on what "safe" means.
+    """
+    if os.path.basename(name) != name or not name or name in (".", ".."):
+        raise ValueError(
+            f"refusing {what} {name!r}: store entries are flat filenames, "
+            "and a path component could escape the store directory"
+        )
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    The single write protocol shared by every store mutation that must be
+    safe under concurrent readers and writers: :meth:`KeyedStore.put`,
+    archive import, and lease renewal in a shared coordination directory.
+    A reader never observes a partial file; a crash leaves only a ``*.tmp``
+    orphan, which :func:`sweep_stale_tmp` reclaims once it is provably
+    abandoned.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def sweep_stale_tmp(root, max_age: float | None = None) -> int:
+    """Remove abandoned ``*.tmp`` files under ``root``; returns the count.
+
+    Only temp files at least ``max_age`` seconds old (default
+    :data:`TMP_SWEEP_AGE_SECONDS`) are removed: a fresh temp file may be a
+    concurrent worker's :func:`atomic_write_bytes` in flight, and unlinking
+    it would turn that worker's success into an error.  Orphans from killed
+    workers are, by definition, not fresh.
+    """
+    import time
+
+    root = Path(root)
+    if max_age is None:
+        max_age = TMP_SWEEP_AGE_SECONDS
+    cutoff = time.time() - max_age
+    removed = 0
+    if root.is_dir():
+        for p in root.glob("*.tmp"):
+            try:
+                if p.stat().st_mtime <= cutoff:
+                    p.unlink()
+                    removed += 1
+            except FileNotFoundError:
+                pass  # another sweep/worker already removed it
+    return removed
 
 
 def _hash_packages(*packages) -> str:
@@ -184,16 +254,7 @@ class KeyedStore:
             self._memory[key] = value
         p = self.path(key)
         if p is not None:
-            p.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=p.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(self._encode(value))
-                os.replace(tmp, p)
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
+            atomic_write_bytes(p, self._encode(value))
         self.stores += 1
 
     def invalidate(self, key: str) -> None:
@@ -214,20 +275,12 @@ class KeyedStore:
         hit/miss/store counters describe the store's content history, so an
         emptied store starts them from zero again.
         """
-        import time
-
         if self._memory is not None:
             self._memory.clear()
         if self.root is not None and self.root.is_dir():
             for p in self.root.glob(f"*{self.suffix}"):
                 p.unlink()
-            cutoff = time.time() - TMP_SWEEP_AGE_SECONDS
-            for p in self.root.glob("*.tmp"):
-                try:
-                    if p.stat().st_mtime <= cutoff:
-                        p.unlink()
-                except FileNotFoundError:
-                    pass  # another clear()/worker already removed it
+            sweep_stale_tmp(self.root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -305,13 +358,12 @@ def import_entries(root, tar_path) -> list[str]:
     member carrying any path structure (``sub/x.pkl``, ``../x.pkl``, an
     absolute path, a directory) is a crafted or corrupt archive trying to
     reach outside the store directory; the whole import is rejected up
-    front -- before anything is extracted -- rather than silently
-    flattening or skipping it.  Flat non-entry members (wrong suffix,
-    links) are tolerated and skipped, as everywhere else stores are read.
-    Entries
-    land atomically (temp file + rename), the same protocol concurrent
-    sweep workers use, so importing into a live cache directory is safe.
-    Returns the imported entry names.
+    front -- before anything is extracted -- by :func:`validate_flat_name`
+    rather than silently flattening or skipping it.  Flat non-entry members
+    (wrong suffix, links) are tolerated and skipped, as everywhere else
+    stores are read.  Entries land through :func:`atomic_write_bytes`, the
+    same protocol concurrent sweep workers use, so importing into a live
+    cache directory is safe.  Returns the imported entry names.
     """
     import tarfile
 
@@ -321,13 +373,7 @@ def import_entries(root, tar_path) -> list[str]:
     with tarfile.open(tar_path, "r") as tar:
         members = tar.getmembers()
         for member in members:
-            name = member.name
-            if os.path.basename(name) != name or not name or name in (".", ".."):
-                raise ValueError(
-                    f"refusing to import archive member {member.name!r}: "
-                    f"store entries are flat filenames, and a path component "
-                    f"could escape the store directory"
-                )
+            validate_flat_name(member.name, what="to import archive member")
         for member in members:
             name = member.name
             if not member.isreg() or Path(name).suffix not in _ENTRY_SUFFIXES:
@@ -335,15 +381,7 @@ def import_entries(root, tar_path) -> list[str]:
             fh = tar.extractfile(member)
             if fh is None:
                 continue
-            fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as out:
-                    out.write(fh.read())
-                os.replace(tmp, root / name)
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
+            atomic_write_bytes(root / name, fh.read())
             imported.append(name)
     return imported
 

@@ -252,7 +252,7 @@ def parse_axis_specs(specs: Iterable[str]) -> dict[str, list]:
         if canonical in axes:
             raise ValueError(
                 f"duplicate axis {name!r}; give each axis once (aliases like "
-                f"trees/n_trees count as the same axis)"
+                "trees/n_trees count as the same axis)"
             )
         axes[canonical] = parsed
     return axes
@@ -398,7 +398,7 @@ def parse_shard_spec(text: str) -> tuple[int, int]:
     except ValueError:
         raise ValueError(
             f"bad shard spec {text!r}; expected K/N with integer "
-            f"1 <= K <= N (e.g. --shard 2/4)"
+            "1 <= K <= N (e.g. --shard 2/4)"
         ) from None
     if n < 1 or not 1 <= k <= n:
         raise ValueError(
@@ -701,6 +701,114 @@ class SweepRunner:
             for future in pending:
                 future.cancel()
             pool.shutdown(wait=True, cancel_futures=True)
+
+    def run_stealing(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        coordinator,
+        completed: Iterable[str] = (),
+        poll_interval: float | None = None,
+    ) -> Iterator[SweepResult]:
+        """Yield results for the scenarios this worker claims from a shared
+        lease directory (work-stealing mode).
+
+        Every worker pointed at ``coordinator``'s directory drains the
+        *same* sweep: instead of running a fixed partition, each claims
+        scenarios at runtime -- most expensive first
+        (:func:`~repro.experiments.schedule.cost_order`, priced with the
+        local result store's recorded wall times) -- runs each claimed
+        scenario in-process under a background-renewed lease, marks the
+        lease done, and moves to the next unclaimed scenario.  Scenarios a
+        live peer holds are left alone; stale leases (renewal TTL expired,
+        or the holder is a dead process on this host) are broken and their
+        scenarios stolen, so a crashed worker delays its in-flight
+        scenario by at most the TTL instead of losing it.
+
+        The generator finishes only when every distinct scenario is done
+        *somewhere*: a worker that exhausted the claimable work polls its
+        peers' leases, stealing anything that goes stale -- which is what
+        makes the pool elastic (a worker added mid-sweep shortens the
+        sweep; the last worker standing finishes it alone).
+
+        ``completed`` keys (e.g. scenarios resumed from this worker's own
+        manifest) are marked done for the pool without re-running and
+        yield no result.  Duplicate scenarios share a key, hence a lease:
+        one run and one yielded result per distinct scenario, exactly the
+        granularity ``repro merge`` dedupes at.  A failed scenario's lease
+        is marked done too (with its error recorded): its structured error
+        line is this worker's manifest entry, and retrying is ``--resume``'s
+        job, not the pool's -- peers immediately re-claiming a
+        deterministic failure would spin forever.
+        """
+        from .schedule import cost_order, observed_durations  # lazy: avoids an import cycle
+
+        scenarios = list(scenarios)
+        if not scenarios:
+            return
+        ordered = cost_order(
+            scenarios, self.mode, observed_durations(self.results, scenarios, self.mode)
+        )
+        keys = [scenario_key(s) for s in ordered]
+        coordinator.ensure_sweep(keys, self.mode)
+        completed = set(completed)
+        pending: dict[str, ScenarioSpec] = {}
+        for key, scenario in zip(keys, ordered):
+            if key in completed:
+                # Already in this worker's manifest: publish the completion
+                # so peers skip it, but never re-run or re-yield it.
+                if coordinator.claim(key):
+                    coordinator.mark_done(key)
+            else:
+                pending[key] = scenario
+        if poll_interval is None:
+            poll_interval = min(max(coordinator.ttl / 4.0, 0.05), 1.0)
+        while pending:
+            progressed = False
+            for key in list(pending):
+                lease = coordinator.read(key)
+                if lease is not None and lease.done:
+                    del pending[key]  # a peer completed it; not our result
+                    progressed = True
+                    continue
+                if not coordinator.claim(key):
+                    continue  # a live peer is on it; try the next scenario
+                scenario = pending.pop(key)
+                progressed = True
+                try:
+                    with coordinator.renewing(key):
+                        result = self._guarded(scenario)
+                except BaseException:
+                    # Interrupted mid-run (KeyboardInterrupt, GeneratorExit):
+                    # hand the scenario straight back instead of making the
+                    # peers wait out the TTL.
+                    coordinator.release(key)
+                    raise
+                # The lease is marked done only AFTER the consumer resumes
+                # the generator -- i.e. after it durably recorded the
+                # yielded result (the CLI writes and flushes the manifest
+                # line between iterations).  Marking done first would open
+                # a window where a crash leaves the scenario completed in
+                # the ledger but present in nobody's manifest, silently
+                # shrinking the merged sweep.  The swapped order fails the
+                # other way: a crash inside the window leaves the lease
+                # claimed, it goes stale, and a peer re-runs the scenario
+                # (served from the result store) into a duplicate manifest
+                # line that `repro merge` dedupes -- at-least-once, which
+                # merge semantics already absorb.
+                consumed = False
+                try:
+                    yield result
+                    consumed = True
+                finally:
+                    if consumed:
+                        coordinator.mark_done(key, error=result.error)
+                    else:
+                        # Abandoned at the yield (consumer closed us):
+                        # whether the result was recorded is unknowable
+                        # here, so hand the scenario back for a peer.
+                        coordinator.release(key)
+            if pending and not progressed:
+                time.sleep(poll_interval)
 
     def run_indexed(
         self, scenarios: Sequence[ScenarioSpec]

@@ -42,6 +42,7 @@ from .scenario import ScenarioSpec
 __all__ = [
     "BALANCE_MODES",
     "ShardPlan",
+    "cost_order",
     "cost_partition",
     "estimate_cost",
     "lpt_assign",
@@ -173,6 +174,29 @@ def _grouped(
     for scenario in scenarios:
         groups.setdefault(scenario_key(scenario), []).append(scenario)
     return groups
+
+
+def cost_order(
+    scenarios: Sequence[ScenarioSpec],
+    mode: str = "compare",
+    observed: Mapping[str, float] | None = None,
+) -> list[ScenarioSpec]:
+    """Distinct scenarios in claim order: cost-descending, keys tie-break.
+
+    This is the LPT intuition behind :func:`cost_partition` applied
+    *dynamically*: a work-stealing pool whose workers always claim the
+    most expensive remaining scenario minimizes the tail where one worker
+    finishes a giant scenario long after its peers drained everything
+    else.  Duplicates collapse to their first occurrence (they share a
+    key, hence a lease).  Unlike a static partition, the order MAY fold in
+    host-local ``observed`` durations: ordering need not agree across
+    hosts for correctness -- the lease files arbitrate ownership -- so
+    each worker is free to use the best pricing its own result store can
+    offer.
+    """
+    groups = _grouped(scenarios)
+    costs = scenario_costs(scenarios, mode, observed)
+    return [groups[key][0] for key in sorted(groups, key=lambda k: (-costs[k], k))]
 
 
 def cost_partition(

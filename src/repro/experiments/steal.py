@@ -1,0 +1,548 @@
+"""Work-stealing sweep coordination over a shared lease directory.
+
+The static multi-host layer (``--shard K/N``, PRs 3-4) fixes each
+scenario's owner up front -- balanced in count or in *predicted* cost.
+Either way the partition is a bet: when one shard's estimate is wrong, or
+one host is simply slower, its peers finish and idle while it grinds on.
+This module replaces the bet with a runtime market.  Workers pointed at
+one shared ``--coordinate`` directory *claim* scenarios as they go:
+
+* a claim is one atomic ``O_CREAT | O_EXCL`` creation of
+  ``<scenario_key>.lease`` -- the filesystem is the arbiter, so exactly
+  one worker wins no matter how many race (same discipline as the
+  :class:`~repro.experiments.cache.KeyedStore` atomic writes, and the
+  lease filename goes through the same
+  :func:`~repro.experiments.cache.validate_flat_name` gate);
+* the lease is stamped with holder host/pid and start time, and re-stamped
+  (atomically, via :func:`~repro.experiments.cache.atomic_write_bytes`)
+  by a renewal thread while the scenario runs;
+* a lease that stops being renewed for longer than the TTL -- or whose
+  holder is a dead process on this host -- is *stale*: any worker may
+  break it and steal the scenario, so a crashed host's work is re-run
+  rather than lost;
+* a finished scenario's lease is rewritten as ``done`` (with the error
+  string, if it failed), which is both the "don't re-run this" signal to
+  peers and the progress ledger ``repro steal-status`` renders.
+
+Workers claim in cost-descending order (LPT dynamically --
+:func:`~repro.experiments.schedule.cost_order`), each streams its own
+JSONL manifest, and ``repro merge`` unions the per-worker manifests
+exactly as it unions shard manifests.  Adding a worker mid-sweep just
+makes the sweep finish sooner; killing one delays its in-flight scenario
+by at most the TTL.
+
+The one unavoidable caveat of lease files: staleness is a *timeout*.  If
+the TTL is shorter than a single scenario's wall time (renewals stop only
+when the holder dies, so this takes a paused/SIGSTOPped worker or a
+clock far off), a live scenario can be stolen and run twice.  Both
+results are valid measurements of the same scenario; manifests carry
+both lines and ``repro merge`` dedupes them.  Choose the TTL well above
+the longest scenario (see ``docs/experiments.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from .cache import atomic_write_bytes, validate_flat_name
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "LEASE_SUFFIX",
+    "SWEEP_FILE",
+    "Coordinator",
+    "Lease",
+    "LeaseLost",
+    "lease_name",
+    "steal_status",
+]
+
+#: Seconds after which an unrenewed lease counts as abandoned.  Renewal
+#: happens every quarter-TTL while a scenario runs, so only a dead (or
+#: thoroughly wedged) worker ever lets a lease age this far.
+DEFAULT_LEASE_TTL = 300.0
+
+#: Filename suffix of lease files in a coordination directory.
+LEASE_SUFFIX = ".lease"
+
+#: The sweep descriptor the first worker publishes in the directory, so
+#: later workers can verify they are all draining the same sweep.
+SWEEP_FILE = "sweep.json"
+
+#: Scenario keys that may serve as lease filename stems directly.  Content
+#: keys (``s<hex>``) always match; the canonical-JSON fallback key of an
+#: unkeyable scenario never does and is hashed instead.
+_SAFE_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class LeaseLost(RuntimeError):
+    """This worker's lease vanished or now belongs to another worker."""
+
+
+def lease_name(key: str) -> str:
+    """The lease filename stem for one scenario key.
+
+    Content keys are already flat, short, and filesystem-safe and pass
+    through unchanged (the lease directory stays greppable by key).  Any
+    other key -- notably the ``!``-prefixed canonical-JSON fallback of an
+    unkeyable scenario -- is content-hashed into a safe stem, so even a
+    hostile ``dataset`` name cannot place a lease outside the directory.
+    The result is re-checked by the same path-validation gate the store
+    import path uses.
+    """
+    if _SAFE_KEY.match(key) and len(key) <= 100:
+        name = key
+    else:
+        name = "x" + hashlib.sha256(key.encode()).hexdigest()[:20]
+    validate_flat_name(name + LEASE_SUFFIX, what="lease filename")
+    return name
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One scenario's claim record, as stamped into its lease file."""
+
+    key: str  # the scenario key this lease covers
+    host: str  # holder hostname
+    pid: int  # holder process id (0: unknown, e.g. a corrupt lease)
+    started: float  # epoch seconds the scenario was claimed
+    renewed: float  # epoch seconds of the freshest (re-)stamp
+    done: bool = False  # the scenario completed (successfully or not)
+    error: str | None = None  # failure description when it completed failed
+
+    @property
+    def holder(self) -> str:
+        return f"{self.host}:{self.pid}"
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "host": self.host,
+            "pid": self.pid,
+            "started": self.started,
+            "renewed": self.renewed,
+            "done": self.done,
+            "error": self.error,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Lease":
+        return cls(
+            key=str(d["key"]),
+            host=str(d["host"]),
+            pid=int(d["pid"]),
+            started=float(d["started"]),
+            renewed=float(d["renewed"]),
+            done=bool(d.get("done", False)),
+            error=d.get("error"),
+        )
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness of a local pid (signal 0 probe).
+
+    ``PermissionError`` means the pid exists but belongs to another user:
+    alive.  Anything else unexpected also counts as alive -- the safe
+    direction, since "dead holder" grants an immediate steal.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+class Coordinator:
+    """One worker's handle on a shared work-stealing lease directory.
+
+    All coordination state lives in the directory itself -- lease files
+    plus one sweep descriptor -- so "the pool" is nothing but however many
+    processes currently point a :class:`Coordinator` at the same path
+    (NFS-style shared filesystems included: every primitive is a single
+    atomic create, rename, or unlink).  Instances are cheap and carry only
+    identity (host/pid, for lease stamps) and the staleness TTL.
+    """
+
+    def __init__(
+        self,
+        root,
+        ttl: float = DEFAULT_LEASE_TTL,
+        host: str | None = None,
+        pid: int | None = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"lease TTL must be positive, got {ttl!r}")
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self.host = host or socket.gethostname()
+        self.pid = int(pid) if pid is not None else os.getpid()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.claimed = 0  # leases this coordinator won
+        self.stolen = 0  # of which were reclaimed stale leases
+
+    # -- lease files -----------------------------------------------------------
+
+    def lease_path(self, key: str) -> Path:
+        return self.root / (lease_name(key) + LEASE_SUFFIX)
+
+    def read(self, key: str) -> Lease | None:
+        """The scenario's current lease, or ``None`` when unclaimed.
+
+        A lease file that cannot be parsed (a claim crashed inside the
+        create-then-stamp window) degrades to a placeholder lease aged by
+        file mtime: it still blocks claims until the TTL passes, then goes
+        stale and is broken like any other abandoned lease.
+        """
+        return self._load(self.lease_path(key), key)
+
+    def _load(self, path: Path, key: str) -> Lease | None:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return Lease.from_dict(json.loads(raw))
+        except Exception:
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                return None
+            return Lease(key=key, host="?", pid=0, started=mtime, renewed=mtime)
+
+    def held(self, lease: Lease | None) -> bool:
+        """Whether ``lease`` is this worker's own stamp."""
+        return lease is not None and lease.host == self.host and lease.pid == self.pid
+
+    def is_stale(self, lease: Lease, now: float | None = None) -> bool:
+        """Whether ``lease`` may be broken and its scenario stolen.
+
+        Done leases never go stale (completion is permanent).  A holder
+        that is a dead process on *this* host is stale immediately -- no
+        reason to wait out the TTL when the kernel already knows -- which
+        is what lets a same-machine worker fleet recover from a SIGKILL
+        in seconds.  Everything else ages out on the renewal TTL.
+        """
+        if lease.done:
+            return False
+        if lease.host == self.host and lease.pid and lease.pid != self.pid:
+            if not _pid_alive(lease.pid):
+                return True
+        if now is None:
+            now = time.time()
+        return now - lease.renewed > self.ttl
+
+    # -- claim / renew / complete ---------------------------------------------
+
+    def claim(self, key: str) -> bool:
+        """Try to take the scenario's lease; ``True`` iff this worker holds it.
+
+        The whole race is one ``O_CREAT | O_EXCL`` create: however many
+        workers collide, the filesystem admits exactly one.  On collision
+        the existing lease is inspected -- live or done means lose; stale
+        means break it (:meth:`_break`, an exclusive two-phase remove) and
+        retry the create once, where the winner among the breakers is
+        again decided by ``O_EXCL``.
+        """
+        path = self.lease_path(key)
+        if self._create(path, key):
+            self.claimed += 1
+            return True
+        lease = self.read(key)
+        broke = False
+        if lease is None:
+            pass  # vanished between create and read: just retry the create
+        elif self.is_stale(lease):
+            broke = self._break(path, key)
+        else:
+            return False
+        if self._create(path, key):
+            self.claimed += 1
+            # Count a reclaim only when this worker itself removed a stale
+            # lease: winning the create after a clean release() (or after a
+            # peer's break) is an ordinary claim, not crash recovery.
+            if broke:
+                self.stolen += 1
+            return True
+        return False
+
+    def _break(self, path: Path, key: str) -> bool:
+        """Remove ``key``'s lease iff it is *currently* stale; one breaker
+        at a time.
+
+        Breaking is two-phase: win an exclusive ``.break`` marker
+        (``O_EXCL`` again), re-verify staleness *under the marker*, and
+        only then unlink.  The naive read-then-unlink would let a slow
+        breaker -- one that judged the lease stale a moment ago -- delete
+        the fresh lease a faster breaker had already stolen and
+        re-stamped, silently handing one scenario to two workers.  Under
+        the marker that cannot happen: nobody can re-create the lease
+        while the stale file still occupies its path, and nobody else may
+        unlink it.  A marker abandoned by a crashed breaker ages out on
+        the TTL like any lease.  Returns whether the lease was removed;
+        either way the caller's next ``O_EXCL`` create decides ownership.
+        """
+        marker = Path(str(path) + ".break")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Another breaker is mid-break; clean its marker up only if it
+            # provably crashed (aged past the TTL), then let a later claim
+            # round retry.
+            try:
+                if time.time() - marker.stat().st_mtime > self.ttl:
+                    os.unlink(marker)
+            except OSError:
+                pass
+            return False
+        except FileNotFoundError:
+            return False  # directory vanished; _create handles recreation
+        os.close(fd)
+        try:
+            lease = self._load(path, key)
+            if lease is None or not self.is_stale(lease):
+                return False  # already broken/re-claimed by someone faster
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return True
+        finally:
+            try:
+                os.unlink(marker)
+            except FileNotFoundError:
+                pass
+
+    def _create(self, path: Path, key: str) -> bool:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except FileNotFoundError:
+            # The directory itself is gone (e.g. swept between sweeps);
+            # recreate and retry the exclusive create once.
+            self.root.mkdir(parents=True, exist_ok=True)
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return False
+        now = time.time()
+        stamp = Lease(key=key, host=self.host, pid=self.pid, started=now, renewed=now)
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(stamp.to_json().encode())
+        return True
+
+    def renew(self, key: str) -> Lease:
+        """Re-stamp this worker's lease so it does not age into staleness.
+
+        Raises :class:`LeaseLost` when the lease is gone or carries another
+        worker's stamp -- the scenario was stolen (the TTL elapsed, so this
+        worker stopped renewing for too long) and the thief owns it now.
+        """
+        path = self.lease_path(key)
+        lease = self.read(key)
+        if not self.held(lease):
+            what = "gone" if lease is None else f"held by {lease.holder}"
+            raise LeaseLost(f"lease for {key!r} is {what} (holder {self.host}:{self.pid})")
+        fresh = replace(lease, renewed=time.time())
+        atomic_write_bytes(path, fresh.to_json().encode())
+        return fresh
+
+    def renewing(self, key: str, interval: float | None = None) -> "_LeaseRenewer":
+        """Context manager renewing the lease in the background during a run."""
+        return _LeaseRenewer(self, key, interval)
+
+    def mark_done(self, key: str, error: str | None = None) -> None:
+        """Record the scenario as completed (with ``error`` if it failed).
+
+        Deliberately unconditional (atomic replace, last writer wins): the
+        scenario DID run to completion here, and if the lease was stolen
+        mid-run the thief's duplicate execution produces a second manifest
+        line for ``repro merge`` to dedupe -- completion information must
+        not be lost to a timestamp squabble.
+        """
+        lease = self.read(key)
+        started = lease.started if lease is not None else time.time()
+        now = time.time()
+        stamp = Lease(
+            key=key,
+            host=self.host,
+            pid=self.pid,
+            started=started,
+            renewed=now,
+            done=True,
+            error=error,
+        )
+        atomic_write_bytes(self.lease_path(key), stamp.to_json().encode())
+
+    def release(self, key: str) -> None:
+        """Drop this worker's claim without completing (the interrupt path).
+
+        Unlinks the lease so a peer can claim the scenario immediately
+        instead of waiting out the TTL.  A lease this worker does not hold
+        is left untouched.
+        """
+        if self.held(self.read(key)):
+            try:
+                os.unlink(self.lease_path(key))
+            except FileNotFoundError:
+                pass
+
+    # -- sweep descriptor ------------------------------------------------------
+
+    def ensure_sweep(self, keys, mode: str = "compare") -> dict:
+        """Publish -- or validate against -- the directory's sweep descriptor.
+
+        The first worker to arrive writes ``sweep.json`` (atomically and
+        exclusively: full content lands via a hard link, so a racing
+        reader never sees a partial file); every later worker must present
+        the same scenario-key digest, sweep mode, and simulation-source
+        fingerprint.  Two hosts accidentally pointing one directory at
+        different sweeps -- or at the same sweep under different simulator
+        code -- fail loudly here instead of silently splitting scenarios
+        that only one of them expands.
+        """
+        from .cache import sim_fingerprint
+
+        distinct = sorted(set(keys))
+        mine = {
+            "version": 1,
+            "mode": mode,
+            "sim_code": sim_fingerprint(),
+            "n_scenarios": len(distinct),
+            "keys_digest": hashlib.sha256("\n".join(distinct).encode()).hexdigest()[:20],
+        }
+        path = self.root / SWEEP_FILE
+        existing = self._read_sweep(path)
+        if existing is None:
+            tmp = self.root / f".sweep-{self.host}-{self.pid}.tmp"
+            tmp.write_bytes(json.dumps(mine, sort_keys=True).encode())
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                pass  # a peer published first; validate against theirs
+            finally:
+                tmp.unlink(missing_ok=True)
+            existing = self._read_sweep(path)
+        if existing is None:
+            raise ValueError(f"unreadable sweep descriptor: {path}")
+        for field in ("mode", "sim_code", "n_scenarios", "keys_digest"):
+            if existing.get(field) != mine[field]:
+                raise ValueError(
+                    f"lease directory {self.root} is coordinating a different "
+                    f"sweep ({field}: {existing.get(field)!r} there vs "
+                    f"{mine[field]!r} here); every worker must run the same "
+                    "sweep under the same code -- use a fresh --coordinate "
+                    "directory per sweep"
+                )
+        return existing
+
+    @staticmethod
+    def _read_sweep(path: Path) -> dict | None:
+        try:
+            d = json.loads(path.read_bytes())
+        except OSError:
+            return None
+        except Exception:
+            return None
+        return d if isinstance(d, dict) else None
+
+    # -- inspection ------------------------------------------------------------
+
+    def leases(self) -> list[Lease]:
+        """Every lease currently in the directory, sorted by filename."""
+        out = []
+        for path in sorted(self.root.glob(f"*{LEASE_SUFFIX}")):
+            lease = self._load(path, path.name[: -len(LEASE_SUFFIX)])
+            if lease is not None:
+                out.append(lease)
+        return out
+
+
+class _LeaseRenewer:
+    """Background daemon thread re-stamping one held lease during a run.
+
+    The renewal cadence is a quarter of the TTL (floored at 50 ms, capped
+    at 30 s): several renewals must fail before the lease can go stale, so
+    one slow filesystem hiccup never forfeits a running scenario.  If the
+    lease IS lost (stolen after a genuine stall), ``lost`` flips true and
+    the thread stops -- the run itself continues; its result is still a
+    valid measurement, and the duplicate line is merge-deduped.
+    """
+
+    def __init__(self, coordinator: Coordinator, key: str, interval: float | None = None):
+        self.coordinator = coordinator
+        self.key = key
+        if interval is None:
+            interval = min(max(coordinator.ttl / 4.0, 0.05), 30.0)
+        self.interval = interval
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "_LeaseRenewer":
+        self._thread = threading.Thread(
+            target=self._run, name=f"lease-renew-{lease_name(self.key)}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.coordinator.renew(self.key)
+            except LeaseLost:
+                self.lost = True
+                return
+            except Exception:
+                pass  # transient I/O: next tick retries; the TTL is the backstop
+
+
+def steal_status(root, ttl: float = DEFAULT_LEASE_TTL) -> dict | None:
+    """Inspect a coordination directory without claiming anything.
+
+    Returns ``None`` when ``root`` is not a directory; otherwise a dict:
+    ``sweep`` (the descriptor, or ``None``), ``rows`` (``(Lease, state)``
+    pairs, state one of ``done``/``failed``/``running``/``stale``),
+    ``counts`` per state, and ``unclaimed`` (descriptor scenario count
+    minus leases, when the descriptor exists).  Staleness is judged
+    against ``ttl`` exactly as a stealing worker would judge it.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    coordinator = Coordinator(root, ttl=ttl)
+    now = time.time()
+    rows: list[tuple[Lease, str]] = []
+    counts = {"done": 0, "failed": 0, "running": 0, "stale": 0}
+    for lease in coordinator.leases():
+        if lease.done:
+            state = "failed" if lease.error is not None else "done"
+        elif coordinator.is_stale(lease, now):
+            state = "stale"
+        else:
+            state = "running"
+        counts[state] += 1
+        rows.append((lease, state))
+    sweep = Coordinator._read_sweep(root / SWEEP_FILE)
+    unclaimed = None
+    if sweep is not None and isinstance(sweep.get("n_scenarios"), int):
+        unclaimed = max(0, sweep["n_scenarios"] - len(rows))
+    return {"sweep": sweep, "rows": rows, "counts": counts, "unclaimed": unclaimed}

@@ -37,7 +37,7 @@ from ..datasets.encoding import BinnedDataset
 from .histogram import Histogram, HistogramBuilder
 from .instrument import warp_conflict_factor
 from .losses import Loss, loss_for_task
-from .split import SplitDecision, SplitParams, SplitSearcher, leaf_weight
+from .split import SplitDecision, SplitSearcher, leaf_weight
 from .trainer import TrainParams, TrainResult
 from .tree import Tree
 from .workprofile import TreeWork, WorkProfile

@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..datasets.encoding import BinnedDataset
-from .instrument import path_length_cv
 from .losses import Loss
 from .tree import Tree
 from .workprofile import InferenceWork

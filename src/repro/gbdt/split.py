@@ -185,7 +185,9 @@ class SplitSearcher:
 
         # Numerical, missing goes right: left = value bins <= v.
         gl, hl, cl = cum_g, cum_h, cum_c
-        gain_num_mr = np.where(self._num_candidate, self._gain(gl, hl, cl, g_tot, h_tot, c_tot), neg)
+        gain_num_mr = np.where(
+            self._num_candidate, self._gain(gl, hl, cl, g_tot, h_tot, c_tot), neg
+        )
         # Numerical, missing goes left.
         gain_num_ml = np.where(
             self._num_candidate,

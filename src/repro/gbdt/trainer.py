@@ -27,7 +27,7 @@ import numpy as np
 
 from ..datasets.encoding import BinnedDataset
 from .histogram import Histogram, HistogramBuilder
-from .instrument import path_length_cv, warp_conflict_factor
+from .instrument import warp_conflict_factor
 from .losses import Loss, loss_for_task
 from .split import SplitDecision, SplitParams, SplitSearcher, leaf_weight
 from .tree import Tree

@@ -9,7 +9,7 @@ densities.  Results are cached per configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

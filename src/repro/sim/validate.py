@@ -11,7 +11,6 @@ model stack shows up as a failed claim rather than a silently drifted number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from ..energy import AreaPowerModel, EnergyModel, SRAMEnergyModel
 from ..memory import DRAMSimulator, sequential
@@ -60,7 +59,10 @@ def validate_all(ex: Executor | None = None) -> list[Claim]:
         (dataset_spec(n).n_fields, dataset_spec(n).n_features) == v
         for n, v in structure.items()
     )
-    add("Table III", "dataset structure (fields/features)", "exact", "exact" if ok else "mismatch", ok)
+    add(
+        "Table III", "dataset structure (fields/features)", "exact",
+        "exact" if ok else "mismatch", ok,
+    )
 
     # -- Table IV: DRAM -----------------------------------------------------------
     bw = DRAMSimulator().run(sequential(24_000)).sustained_gbps
@@ -129,13 +131,14 @@ def validate_all(ex: Executor | None = None) -> list[Claim]:
     losers = []
     for name in ex.all_datasets():
         prof = ex.profile(name)
-        if ex.model("real-gpu").training_seconds(prof) > ex.model("real-32-core").training_seconds(prof):
+        gpu_s = ex.model("real-gpu").training_seconds(prof)
+        if gpu_s > ex.model("real-32-core").training_seconds(prof):
             losers.append(name)
     ok = sorted(losers) == ["allstate", "mq2008"]
     add("Fig. 11", "real GPU loses to real 32-core on", "Allstate, Mq2008",
         ", ".join(sorted(losers)) or "none", ok)
 
-    # -- Fig. 12: scaling -----------------------------------------------------------------------------
+    # -- Fig. 12: scaling ------------------------------------------------------
     ok = True
     for name in ex.all_datasets():
         base = sp[name]
@@ -145,7 +148,7 @@ def validate_all(ex: Executor | None = None) -> list[Claim]:
     add("Fig. 12", "speedups grow at 10x records", "all grow",
         "all grow" if ok else "violated", ok)
 
-    # -- Fig. 13: inference -----------------------------------------------------------------------------
+    # -- Fig. 13: inference ----------------------------------------------------
     inf = {n: ex.inference(n).speedup("booster") for n in ex.all_datasets()}
     mean = geomean(inf.values())
     deep = [v for n, v in inf.items() if n != "iot"]

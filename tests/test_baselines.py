@@ -2,14 +2,6 @@
 
 import pytest
 
-from repro.baselines import (
-    IdealGPU,
-    IdealMulticore,
-    InterRecordAccelerator,
-    RealGPU,
-    RealMulticore,
-    SequentialCPU,
-)
 from repro.baselines.base import host_step2_seconds
 from repro.sim.calibrate import DEFAULT_COSTS
 

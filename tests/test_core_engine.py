@@ -196,5 +196,6 @@ class TestInference:
 
     def test_deep_tree_benchmarks_cluster(self, executor):
         # Four deep-tree benchmarks behave "similarly" (paper: ~55.5x).
-        vals = [executor.inference(n).speedup("booster") for n in ("higgs", "allstate", "mq2008", "flight")]
+        names = ("higgs", "allstate", "mq2008", "flight")
+        vals = [executor.inference(n).speedup("booster") for n in names]
         assert max(vals) / min(vals) < 1.3

@@ -1,6 +1,5 @@
 """Tests for the energy/area substrate (repro.energy): Tables V, VI, Fig. 10."""
 
-import numpy as np
 import pytest
 
 from repro.energy import (

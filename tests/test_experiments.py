@@ -947,8 +947,6 @@ class TestExecutorFacade:
         assert first.seconds == second.seconds
 
     def test_inference_scaled_copy(self):
-        from dataclasses import asdict
-
         from repro.gbdt import EnsemblePredictor
 
         result = train_scenario(TINY, ProfileCache(root=None))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import TaskKind, generate
-from repro.gbdt import GBDTTrainer, TrainParams, train
+from repro.gbdt import TrainParams, train
 from tests.conftest import small_spec_factory
 
 

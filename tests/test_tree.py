@@ -61,7 +61,9 @@ class TestConstruction:
     def test_rejects_bad_field(self, spec):
         t = Tree(spec)
         with pytest.raises(ValueError, match="out of range"):
-            t.add_split(0, split_field=99, threshold_bin=0, is_categorical=False, missing_left=False)
+            t.add_split(
+                0, split_field=99, threshold_bin=0, is_categorical=False, missing_left=False
+            )
 
 
 class TestPredict:
@@ -82,7 +84,9 @@ class TestPredict:
 
     def test_categorical_one_vs_rest(self, spec):
         t = Tree(spec)
-        root = t.add_split(0, split_field=1, threshold_bin=2, is_categorical=True, missing_left=False)
+        root = t.add_split(
+            0, split_field=1, threshold_bin=2, is_categorical=True, missing_left=False
+        )
         l = t.add_leaf(1, 10.0)
         r = t.add_leaf(1, -10.0)
         t.set_children(root, l, r)
