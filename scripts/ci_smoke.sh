@@ -9,6 +9,8 @@
 #   3. cost-balanced sharding (plan comparison + merge equivalence)
 #   4. work stealing over a shared lease directory (two concurrent
 #      workers, both claim work, merge == unsharded, one lease/scenario)
+#   5. repro bench --quick (emitted document validates against the bench
+#      schema; no absolute-time assertions -- wall times are host-specific)
 #
 # Everything lands under /tmp (*.jsonl manifests, *.log transcripts) so a
 # failing CI run can upload the lot as artifacts.
@@ -86,5 +88,13 @@ grep -Eq 'steal: claimed [1-9][0-9]*/6' /tmp/steal-w2.log
 python -m repro.cli sweep --serial --trees 2 --dataset mq2008 $STEAL_AXES --systems ideal-32-core booster --out /tmp/steal-full.jsonl > /tmp/steal-full.log
 python -m repro.cli merge /tmp/steal-merged.jsonl /tmp/steal-w1.jsonl /tmp/steal-w2.jsonl
 python -c 'import json, pathlib; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/steal-full.jsonl"); merged = load("/tmp/steal-merged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "steal-mode merge diverges from the unsharded sweep"; leases = list(pathlib.Path("/tmp/steal-coord").glob("*.lease")); assert len(leases) == len(full), (len(leases), len(full)); assert all(json.loads(p.read_bytes())["done"] for p in leases), "undone lease left behind"; print(f"steal-mode merge matches the unsharded sweep ({len(merged)} scenarios, {len(leases)} leases, all done)")'
+
+echo "=== smoke 5/5: quick bench + schema validation ==="
+# The bench validates before writing; re-validating the file from a fresh
+# process proves the committed-trajectory read path too.  Shape only --
+# never absolute times (host-specific).  CI uploads the document as an
+# artifact so perf on the CI host is observable over time.
+python -m repro.cli bench --quick --repeats 2 --out /tmp/bench-quick.json
+python -c "import json; from repro.experiments.bench import validate_bench; doc = json.load(open('/tmp/bench-quick.json')); validate_bench(doc); assert doc['quick'] is True; print('bench document valid:', len(doc['cells']), 'cells')"
 
 echo "all sweep smokes passed"

@@ -18,6 +18,7 @@ Installed as the ``repro`` console script::
     repro merge merged.jsonl shard1.jsonl shard2.jsonl  # union shard manifests
     repro report --from-manifest merged.jsonl           # render, zero re-runs
     repro cache export warm.tar --axis seed=1,2,3       # seed a cold host
+    repro bench --out BENCH_7.json      # record the perf trajectory point
     repro validate                      # full reproduction claim checklist
 """
 
@@ -335,6 +336,33 @@ def build_parser() -> argparse.ArgumentParser:
         "import", help="unpack a `repro cache export` archive into the store"
     )
     p_cimp.add_argument("archive", help="tar file to read")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the recorded performance benchmark (vectorized vs reference)",
+        description="Time the vectorized hot paths against their scalar "
+        "reference implementations on a fixed scenario grid (level-wise "
+        "GBDT fits, the level-core partition+binning microbench, and DRAM "
+        "FR-FCFS traces) and write a schema-versioned JSON document.  Each "
+        "perf PR commits its document as BENCH_<n>.json, growing a "
+        "measured speedup trajectory alongside the code; see "
+        "docs/performance.md.",
+    )
+    p_bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="where to write the bench document (default: print a table only)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke grid: one small GBDT scenario, short DRAM traces",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=None, help="samples per fit cell (default: 3, quick: 2)"
+    )
+    p_bench.add_argument("--seed", type=int, default=7, help="dataset/trace seed")
 
     sub.add_parser(
         "validate", parents=[common], help="run the reproduction claim checklist"
@@ -1245,6 +1273,46 @@ def _cmd_steal_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """`repro bench`: measure vectorized-vs-reference speedups, emit JSON."""
+    from .experiments.bench import run_bench, validate_bench, write_bench
+
+    try:
+        doc = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            seed=args.seed,
+            progress=lambda msg: print(f"  done {msg}"),
+        )
+        validate_bench(doc)
+    except ValueError as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        write_bench(doc, str(out))
+        print(f"wrote {out}")
+    rows = [
+        [
+            cell["id"],
+            f"{cell['reference']['p50_s'] * 1e3:.4g}",
+            f"{cell['vectorized']['p50_s'] * 1e3:.4g}",
+            f"{cell['speedup_p50']:.2f}x",
+        ]
+        for cell in doc["cells"]
+    ]
+    mode = "quick grid" if doc["quick"] else "full grid"
+    print(
+        render_table(
+            ["cell", "reference p50 (ms)", "vectorized p50 (ms)", "speedup"],
+            rows,
+            title=f"repro bench ({mode}, rev {doc['git_rev'][:12]})",
+        )
+    )
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.validate import report, validate_all
 
@@ -1266,6 +1334,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "cache": _cmd_cache,
     "steal-status": _cmd_steal_status,
+    "bench": _cmd_bench,
     "validate": _cmd_validate,
 }
 

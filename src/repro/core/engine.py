@@ -85,9 +85,10 @@ class BoosterEngine(HardwareModel):
         layout = self.layout(profile)
         mapping = self.bin_mapping(profile)
 
-        n_nodes_binned = sum(int((t.n_binned > 0).sum()) for t in profile.trees)
+        stacked = profile.stacked
+        n_nodes_binned = int((stacked.n_binned > 0).sum())
         n_evals = profile.step2_evaluations()
-        n_split_nodes = sum(int(t.is_split.sum()) for t in profile.trees)
+        n_split_nodes = int(stacked.is_split.sum())
 
         # ---- Step 1: histogram binning ------------------------------------------
         throughput = mapping.throughput_records_per_cycle(c.bu_op_cycles)
@@ -103,15 +104,8 @@ class BoosterEngine(HardwareModel):
         mem_bytes = profile.step1_bytes(layout)
         if mapping.field_passes > 1:
             # Field partitioning refetches g/h once per extra pass (Sec. III-C (1)).
-            extra = (mapping.field_passes - 1) * sum(
-                float(
-                    np.sum(
-                        layout.stats_bytes_gather(
-                            t.n_binned[t.n_binned > 0], profile.n_records
-                        )
-                    )
-                )
-                for t in profile.trees
+            extra = (mapping.field_passes - 1) * float(
+                np.sum(layout.stats_bytes_gather(stacked.binned_nonzero, profile.n_records))
             )
             mem_bytes += extra
         fill_cycles = n_nodes_binned * self.bus.fill_cycles
@@ -155,7 +149,7 @@ class BoosterEngine(HardwareModel):
         s5_compute = profile.traversal_hops() * c.bu_hop_cycles / self.config.n_bus
         s5_mem = profile.step5_bytes(layout, column_format=self.column_format)
         # Tree-table replication into every BU, once per tree.
-        table_cycles = sum(t.n_nodes for t in profile.trees)
+        table_cycles = int(stacked.n_nodes.sum())
         s5_fill = self.bus.replicate_table_cycles(table_cycles)
         s5 = max(self._cycles_to_seconds(s5_compute), self.mem_seconds(s5_mem)) + (
             self._cycles_to_seconds(s5_fill)

@@ -153,16 +153,19 @@ class RecordLayout:
     # -- column-major (the redundant format) -----------------------------------
 
     def column_bytes_sequential(self, field_indices: Sequence[int], n_records: int) -> float:
-        """Bytes to stream whole per-field columns for the given fields."""
-        if n_records <= 0 or len(field_indices) == 0:
+        """Bytes to stream whole per-field columns for the given fields.
+
+        Integer block arithmetic, vectorized over the (possibly repeated)
+        field list -- exact, so summing many trees' field lists in one call
+        equals summing per-tree calls.
+        """
+        fields = np.asarray(field_indices, dtype=np.int64)
+        if n_records <= 0 or fields.size == 0:
             return 0.0
-        total = 0.0
         block = self.config.block_bytes
-        for j in field_indices:
-            elem = int(self.field_bytes[j])
-            blocks = -(-(n_records * elem) // block)
-            total += blocks * block
-        return float(total)
+        elem = self.field_bytes[fields]
+        blocks = -(-(n_records * elem) // block)
+        return float((blocks * block).sum())
 
     def column_bytes_gather(self, field_index, n_selected, n_universe: int):
         """Bytes to gather one field's column for a scattered record subset.

@@ -9,6 +9,23 @@ one update per field -- the density property Booster's mapping exploits.
 Also implements the smaller-child *subtraction trick* (Sec. II-A): after a
 split, only the smaller child is binned explicitly; the larger child's
 histogram is the parent's minus the smaller child's.
+
+Two vectorization layers keep step 1 out of interpreted Python:
+
+* the **global-bin code matrix** (``codes + offsets``, int64) is computed
+  once per dataset in :meth:`HistogramBuilder.__init__` instead of being
+  re-materialized on every ``build`` call;
+* :meth:`HistogramBuilder.build_grouped` bins the records of *many* vertices
+  in one ``np.bincount`` over a composite ``vertex x global-bin`` key --
+  the level-wise trainer's whole-level pass and the vertex-by-vertex
+  trainer's sibling builds both run through this core (``build`` is the
+  single-group special case).
+
+Bit-exactness note: ``np.bincount`` accumulates weights in input order, and
+the grouped composite key keeps each (group, bin) cell's updates in the same
+record order a per-group ``build`` call would use, so grouped and per-group
+histograms are identical to the last ulp -- which is what lets the grouped
+trainers produce byte-identical models (property-tested).
 """
 
 from __future__ import annotations
@@ -60,10 +77,10 @@ class Histogram:
 class HistogramBuilder:
     """Vectorized histogram construction for one dataset.
 
-    The builder owns the global bin space (offsets per field) and converts
-    per-field codes into global bin indices once per call.  ``np.bincount``
-    with weights is the NumPy analogue of the accumulate-into-SRAM operation
-    each Booster BU performs.
+    The builder owns the global bin space (offsets per field) and the
+    precomputed global-bin code matrix.  ``np.bincount`` with weights is the
+    NumPy analogue of the accumulate-into-SRAM operation each Booster BU
+    performs.
     """
 
     def __init__(self, data: BinnedDataset) -> None:
@@ -71,6 +88,22 @@ class HistogramBuilder:
         self.offsets = data.bin_offsets()
         self.n_bins = int(self.offsets[-1])
         self._col_offsets = self.offsets[:-1].astype(np.int64)
+        #: Global-bin codes (``codes + per-field offsets``), materialized once:
+        #: every ``build``/``build_grouped`` call used to pay an astype + add
+        #: over its slice; now binning is a pure gather + bincount.
+        self._global_codes = data.codes.astype(np.int64) + self._col_offsets[None, :]
+
+    def _accumulate(
+        self, flat: np.ndarray, index: np.ndarray, g: np.ndarray, h: np.ndarray, length: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Shared bincount core: ``flat`` composite keys, one per (record, field)."""
+        n_fields = self.data.n_fields
+        gw = np.repeat(g[index], n_fields)
+        hw = np.repeat(h[index], n_fields)
+        count = np.bincount(flat, minlength=length).astype(np.float64)
+        grad = np.bincount(flat, weights=gw, minlength=length)
+        hess = np.bincount(flat, weights=hw, minlength=length)
+        return count, grad, hess
 
     def build(self, index: np.ndarray, g: np.ndarray, h: np.ndarray) -> Histogram:
         """Bin the records selected by ``index`` (positions into the dataset).
@@ -81,16 +114,67 @@ class HistogramBuilder:
         if index.size == 0:
             z = np.zeros(self.n_bins, dtype=np.float64)
             return Histogram(count=z.copy(), grad=z.copy(), hess=z.copy())
-        codes = self.data.codes[index].astype(np.int64)
-        codes += self._col_offsets[None, :]
-        flat = codes.ravel()
-        n_fields = self.data.n_fields
-        gw = np.repeat(g[index], n_fields)
-        hw = np.repeat(h[index], n_fields)
-        count = np.bincount(flat, minlength=self.n_bins).astype(np.float64)
-        grad = np.bincount(flat, weights=gw, minlength=self.n_bins)
-        hess = np.bincount(flat, weights=hw, minlength=self.n_bins)
+        flat = self._global_codes[index].ravel()
+        count, grad, hess = self._accumulate(flat, index, g, h, self.n_bins)
         return Histogram(count=count, grad=grad, hess=hess)
+
+    def build_grouped(
+        self,
+        index: np.ndarray,
+        group_of: np.ndarray,
+        n_groups: int,
+        g: np.ndarray,
+        h: np.ndarray,
+    ) -> list[Histogram]:
+        """Bin many vertices' records in ONE pass (the level-wise step 1).
+
+        ``index`` selects records (positions into the dataset) and
+        ``group_of`` assigns each selected record to a group in
+        ``[0, n_groups)``; the records of every group are binned through a
+        single composite ``group x global-bin`` key ``np.bincount``, instead
+        of one ``build`` call per group.  Returns one :class:`Histogram` per
+        group (rows of one backing matrix).
+
+        Each (group, bin) cell accumulates its records in ``index`` order, so
+        the result is bit-identical to ``build(index[group_of == k], g, h)``
+        for every ``k`` whenever ``index`` is grouped-stably ordered (e.g.
+        ascending record order, as the trainers produce).
+        """
+        count, grad, hess = self.build_grouped_arrays(index, group_of, n_groups, g, h)
+        return [
+            Histogram(count=count[k], grad=grad[k], hess=hess[k]) for k in range(n_groups)
+        ]
+
+    def build_grouped_arrays(
+        self,
+        index: np.ndarray,
+        group_of: np.ndarray,
+        n_groups: int,
+        g: np.ndarray,
+        h: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`build_grouped` returning the raw ``(n_groups, n_bins)``
+        count/grad/hess matrices (no per-group :class:`Histogram` objects) --
+        the form the level-wise trainer consumes, where sibling histograms
+        are derived with one whole-matrix subtraction."""
+        if n_groups < 0:
+            raise ValueError("n_groups must be non-negative")
+        if index.shape != group_of.shape:
+            raise ValueError("index and group_of must match in shape")
+        if index.size and (group_of.min() < 0 or group_of.max() >= n_groups):
+            raise ValueError("group ids must lie in [0, n_groups)")
+        n_bins = self.n_bins
+        if index.size == 0:
+            zeros = np.zeros((3, n_groups, n_bins), dtype=np.float64)
+            return zeros[0], zeros[1], zeros[2]
+        base = (group_of.astype(np.int64) * n_bins)[:, None]
+        flat = (self._global_codes[index] + base).ravel()
+        count, grad, hess = self._accumulate(flat, index, g, h, n_groups * n_bins)
+        return (
+            count.reshape(n_groups, n_bins),
+            grad.reshape(n_groups, n_bins),
+            hess.reshape(n_groups, n_bins),
+        )
 
     def build_brute_force(self, index: np.ndarray, g: np.ndarray, h: np.ndarray) -> Histogram:
         """Reference implementation (pure loops) used only by tests."""

@@ -24,6 +24,25 @@ Differences from the vertex-by-vertex trainer that matter to hardware:
 The resulting model is numerically identical to the vertex-by-vertex trainer
 (same splits, same trees) -- property-tested -- while the work profile's
 *shape* differs, which the ``growth`` ablation benchmark exercises.
+
+The software implementation mirrors the hardware story.  The default
+(vectorized) path keeps a whole level's histograms as three ``(live
+vertices, n_bins)`` matrices and runs every step over them at once:
+
+* step 2 is **one batched search** for all of the level's vertices
+  (:meth:`~repro.gbdt.split.SplitSearcher.best_split_many` -- the "one host
+  round trip" of the paper, literally);
+* step 3 partitions the records of all splitting vertices in one array pass;
+* step 1 bins all explicit (smaller) children through one grouped
+  ``vertex x global-bin`` bincount
+  (:meth:`~repro.gbdt.histogram.HistogramBuilder.build_grouped_arrays`), and
+  every sibling histogram is derived with a single whole-matrix subtraction
+  instead of per-child ``Histogram.subtract`` calls.
+
+The per-vertex loop survives as the scalar reference path
+(``vectorized=False``): per-vertex ``np.nonzero(vertex_of_record == vid)``
+scans, per-vertex ``build`` and ``best_split`` calls.  Both paths produce
+bit-identical models and work profiles, which the equivalence tests assert.
 """
 
 from __future__ import annotations
@@ -47,7 +66,7 @@ __all__ = ["LevelWiseTrainer", "train_level_wise"]
 
 @dataclass
 class _LevelNode:
-    """One live vertex during level-wise growth."""
+    """One live vertex during level-wise growth (reference path)."""
 
     tree_node: int  # id in the Tree being built
     g_tot: float
@@ -59,11 +78,23 @@ class _LevelNode:
 
 
 class LevelWiseTrainer:
-    """Level-by-level GBDT trainer with the same split semantics."""
+    """Level-by-level GBDT trainer with the same split semantics.
 
-    def __init__(self, data: BinnedDataset, params: TrainParams | None = None) -> None:
+    ``vectorized`` selects the whole-level matrix pass (default) or the
+    per-vertex scalar reference loop; both are numerically identical, and
+    the reference is the oracle the equivalence tests run against.
+    """
+
+    def __init__(
+        self,
+        data: BinnedDataset,
+        params: TrainParams | None = None,
+        *,
+        vectorized: bool = True,
+    ) -> None:
         self.data = data
         self.params = params or TrainParams()
+        self.vectorized = vectorized
         self.builder = HistogramBuilder(data)
         self.searcher = SplitSearcher(data.spec, self.builder.offsets, self.params.split)
         self.loss: Loss = loss_for_task(data.spec.task)
@@ -134,6 +165,310 @@ class LevelWiseTrainer:
     # -- one tree ------------------------------------------------------------------
 
     def _grow_tree(self, g: np.ndarray, h: np.ndarray):
+        if self.vectorized:
+            return self._grow_tree_vectorized(g, h)
+        return self._grow_tree_reference(g, h)
+
+    def _grow_tree_vectorized(self, g: np.ndarray, h: np.ndarray):
+        """Whole-level matrix pass: the live level is three ``(L, n_bins)``
+        histogram matrices plus per-vertex total arrays.
+
+        Per level: one batched step-2 search over the eligible rows, one
+        vectorized record partition for all splitting vertices, one grouped
+        bincount for all smaller children, and one matrix subtraction
+        (``parent rows - small-child matrix``) for all siblings.  Only O(live
+        vertices) bookkeeping (tree node construction, work counters) stays
+        in Python.  Bit-identical to :meth:`_grow_tree_reference`: vertex
+        order, child vid numbering (2i / 2i+1), record order inside each
+        child, and every float accumulation order are preserved.
+        """
+        data = self.data
+        params = self.params
+        n = data.n_records
+        tree = Tree(data.spec)
+        min_children = 2 * params.split.min_child_records
+
+        depths: list[int] = []
+        reaches: list[int] = []
+        binneds: list[int] = []
+        evals: list[bool] = []
+        issplits: list[bool] = []
+        sfields: list[int] = []
+        child_fracs: list[float] = []
+
+        root_hist = self.builder.build(np.arange(n, dtype=np.int64), g, h)
+        root_counts = root_hist.count.copy()
+        # Level state, indexed by level-local vertex id 0..L-1 (contiguous by
+        # construction: the next level's vids are 2i/2i+1 per split i).
+        hist_c = root_hist.count[None, :]
+        hist_g = root_hist.grad[None, :]
+        hist_h = root_hist.hess[None, :]
+        has_hist = np.ones(1, dtype=bool)
+        g_tot = np.array([float(g.sum())])
+        h_tot = np.array([float(h.sum())])
+        c_tot = np.array([float(n)])
+        n_reach = np.array([n], dtype=np.int64)
+        binned = np.array([n], dtype=np.int64)
+        vertex_of_record = np.zeros(n, dtype=np.int64)
+        # Tree node ids of the level ABOVE's splitting vertices, in split
+        # order: child vid j's parent is split j // 2.  Threaded as a local
+        # (never trainer state), like the reference path's maps.
+        prev_split_nodes: list[int] = []
+
+        for depth in range(params.max_depth + 1):
+            n_live = int(g_tot.shape[0])
+            if n_live == 0:
+                break
+
+            # Step 2 for the whole level in one batched search.
+            if depth < params.max_depth:
+                can_split = (n_reach >= min_children) & has_hist
+            else:
+                can_split = np.zeros(n_live, dtype=bool)
+            elig = np.flatnonzero(can_split)
+            decisions: list[SplitDecision | None] = [None] * n_live
+            if elig.size == n_live:
+                # All rows eligible: skip the (k, n_bins) fancy-index copies.
+                decisions = list(
+                    self.searcher.best_split_many(hist_c, hist_g, hist_h, g_tot, h_tot, c_tot)
+                )
+            elif elig.size:
+                batch = self.searcher.best_split_many(
+                    hist_c[elig],
+                    hist_g[elig],
+                    hist_h[elig],
+                    g_tot[elig],
+                    h_tot[elig],
+                    c_tot[elig],
+                )
+                for j, d in zip(elig, batch):
+                    decisions[int(j)] = d
+
+            tree_nodes = np.empty(n_live, dtype=np.int64)
+            split_vids: list[int] = []
+            split_decisions: list[SplitDecision] = []
+            for vid in range(n_live):
+                d = decisions[vid]
+                is_split = d is not None and d.valid
+                depths.append(depth)
+                reaches.append(int(n_reach[vid]))
+                binneds.append(int(binned[vid]))
+                evals.append(bool(can_split[vid]))
+                if not is_split:
+                    issplits.append(False)
+                    sfields.append(-1)
+                    w = params.learning_rate * leaf_weight(
+                        float(g_tot[vid]), float(h_tot[vid]), params.split.lambda_
+                    )
+                    tree_nodes[vid] = tree.add_leaf(depth, w)
+                else:
+                    assert d is not None
+                    issplits.append(True)
+                    sfields.append(d.field)
+                    tree_nodes[vid] = tree.add_split(
+                        depth, d.field, d.threshold_bin, d.is_categorical, d.missing_left
+                    )
+                    split_vids.append(vid)
+                    split_decisions.append(d)
+
+            # Attach children pointers now that parents have real node ids.
+            if depth > 0:
+                for vid in range(n_live):
+                    parent_node = prev_split_nodes[vid // 2]
+                    if vid % 2 == 0:
+                        tree.set_children(
+                            parent_node, int(tree_nodes[vid]), tree.right[parent_node]
+                        )
+                    else:
+                        tree.set_children(
+                            parent_node, tree.left[parent_node], int(tree_nodes[vid])
+                        )
+
+            if not split_vids:
+                break
+
+            prev_split_nodes = [int(tree_nodes[v]) for v in split_vids]
+            (
+                vertex_of_record,
+                fracs,
+                g_tot,
+                h_tot,
+                c_tot,
+                n_reach,
+                binned,
+                hist_c,
+                hist_g,
+                hist_h,
+                has_hist,
+            ) = self._partition_level_vectorized(
+                n_live,
+                split_vids,
+                split_decisions,
+                vertex_of_record,
+                hist_c,
+                hist_g,
+                hist_h,
+                g,
+                h,
+                depth,
+            )
+            child_fracs.extend(fracs)
+
+        tree.validate()
+        work = TreeWork(
+            depth=np.asarray(depths, dtype=np.int64),
+            n_reach=np.asarray(reaches, dtype=np.int64),
+            n_binned=np.asarray(binneds, dtype=np.int64),
+            split_evaluated=np.asarray(evals, dtype=bool),
+            is_split=np.asarray(issplits, dtype=bool),
+            split_field=np.asarray(sfields, dtype=np.int64),
+            relevant_fields=tree.relevant_fields(),
+            sum_path_len=0.0,
+            mean_path_len=0.0,
+            max_path_len=0,
+            loss_after=0.0,
+        )
+        return tree, work, child_fracs, root_counts
+
+    # -- one level: partition + explicit-child binning (vectorized) ----------------
+
+    def _partition_level_vectorized(
+        self,
+        n_live: int,
+        split_vids: list[int],
+        decisions: list[SplitDecision],
+        vertex_of_record: np.ndarray,
+        hist_c: np.ndarray,
+        hist_g: np.ndarray,
+        hist_h: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        depth: int,
+    ):
+        """Steps 3 + 1 for a whole level, no per-vertex passes.
+
+        Partitions the records of ALL splitting vertices in one array pass
+        (one gather over the code matrix instead of per-vertex ``nonzero``
+        scans), bins all the explicit (smaller) children through one grouped
+        bincount, and derives every sibling histogram with a single
+        whole-matrix subtraction of the small-child matrix from the parent
+        rows.  The counterpart of :meth:`_partition_level_reference` (the
+        ``repro bench`` level-core microbench drives both on the same
+        captured level state).
+
+        Returns the next level's state:
+        ``(vertex_of_record, fracs, g_tot, h_tot, c_tot, n_reach, binned,
+        hist_c, hist_g, hist_h, has_hist)``.
+        """
+        data = self.data
+        params = self.params
+        n = vertex_of_record.shape[0]
+        n_bins = self.builder.n_bins
+
+        # Step 3, all vertices at once: map each record's vertex to its
+        # split slot (-1 for parked records and non-splitting vertices),
+        # then evaluate every predicate in one gather over the codes.
+        k = len(split_vids)
+        sv = np.asarray(split_vids, dtype=np.int64)
+        ds = decisions
+        fields = np.array([d.field for d in ds], dtype=np.int64)
+        thresholds = np.array([d.threshold_bin for d in ds], dtype=np.int64)
+        is_cat = np.array([d.is_categorical for d in ds], dtype=bool)
+        miss_left = np.array([d.missing_left for d in ds], dtype=bool)
+        missing_bin = np.array(
+            [data.spec.fields[int(f)].missing_bin for f in fields], dtype=np.int64
+        )
+
+        slot = np.full(n_live, -1, dtype=np.int64)
+        slot[sv] = np.arange(k, dtype=np.int64)
+        active = vertex_of_record >= 0
+        rec_slot = np.full(n, -1, dtype=np.int64)
+        rec_slot[active] = slot[vertex_of_record[active]]
+        rows = np.nonzero(rec_slot >= 0)[0]  # ascending record order
+        s = rec_slot[rows]
+        codes_sel = data.codes[rows, fields[s]].astype(np.int64)
+        missing = codes_sel == missing_bin[s]
+        left = np.where(is_cat[s], codes_sel == thresholds[s], codes_sel <= thresholds[s])
+        left = np.where(missing, miss_left[s], left)
+        child_slot = 2 * s + (~left).astype(np.int64)
+
+        new_assignment = np.full(n, -1, dtype=np.int64)
+        new_assignment[rows] = child_slot
+        counts = np.bincount(child_slot, minlength=2 * k)
+        left_sizes = counts[0::2]
+        right_sizes = counts[1::2]
+        member_sizes = left_sizes + right_sizes
+        fracs = (np.minimum(left_sizes, right_sizes) / np.maximum(member_sizes, 1)).tolist()
+
+        # Next level's per-vertex totals, interleaved left/right.
+        g_tot = np.empty(2 * k)
+        h_tot = np.empty(2 * k)
+        c_tot = np.empty(2 * k)
+        g_tot[0::2] = [d.grad_left for d in ds]
+        g_tot[1::2] = [d.grad_right for d in ds]
+        h_tot[0::2] = [d.hess_left for d in ds]
+        h_tot[1::2] = [d.hess_right for d in ds]
+        c_tot[0::2] = [d.count_left for d in ds]
+        c_tot[1::2] = [d.count_right for d in ds]
+        n_reach = np.empty(2 * k, dtype=np.int64)
+        n_reach[0::2] = left_sizes
+        n_reach[1::2] = right_sizes
+        binned = np.zeros(2 * k, dtype=np.int64)
+
+        # Step 1, level-wise: one grouped bincount bins ALL the explicit
+        # (smaller) children; all siblings come from ONE whole-matrix
+        # subtraction of the small-child matrix from the parent rows.
+        if depth + 1 < params.max_depth:
+            small_is_left = left_sizes <= right_sizes
+            rec_is_small = left == small_is_left[s]
+            small_c, small_g, small_h = self.builder.build_grouped_arrays(
+                rows[rec_is_small], s[rec_is_small], k, g, h
+            )
+            # Parent rows: when every live vertex split (the common deep-level
+            # case), sv == arange(n_live) and the matrices are the parent
+            # stack already -- skip the gather copies.
+            if k == n_live:
+                parent_c, parent_g, parent_h = hist_c, hist_g, hist_h
+            else:
+                parent_c, parent_g, parent_h = hist_c[sv], hist_g[sv], hist_h[sv]
+            pos = 2 * np.arange(k, dtype=np.int64)
+            small_pos = pos + (~small_is_left).astype(np.int64)
+            large_pos = pos + small_is_left.astype(np.int64)
+            hist_c = np.empty((2 * k, n_bins))
+            hist_g = np.empty((2 * k, n_bins))
+            hist_h = np.empty((2 * k, n_bins))
+            hist_c[small_pos] = small_c
+            hist_g[small_pos] = small_g
+            hist_h[small_pos] = small_h
+            # Sibling = parent - small, computed in place into the small-child
+            # buffers (their rows were just copied out above).
+            np.subtract(parent_c, small_c, out=small_c)
+            np.subtract(parent_g, small_g, out=small_g)
+            np.subtract(parent_h, small_h, out=small_h)
+            hist_c[large_pos] = small_c
+            hist_g[large_pos] = small_g
+            hist_h[large_pos] = small_h
+            has_hist = np.ones(2 * k, dtype=bool)
+            binned[small_pos] = np.where(small_is_left, left_sizes, right_sizes)
+        else:
+            has_hist = np.zeros(2 * k, dtype=bool)
+
+        return (
+            new_assignment,
+            fracs,
+            g_tot,
+            h_tot,
+            c_tot,
+            n_reach,
+            binned,
+            hist_c,
+            hist_g,
+            hist_h,
+            has_hist,
+        )
+
+    def _grow_tree_reference(self, g: np.ndarray, h: np.ndarray):
+        """Scalar reference: per-vertex dict state, per-vertex step 2."""
         data = self.data
         params = self.params
         n = data.n_records
@@ -149,7 +484,6 @@ class LevelWiseTrainer:
         root_counts: np.ndarray | None = None
 
         # Every record carries its current vertex; -1 once it rests in a leaf.
-        assignment = np.zeros(n, dtype=np.int64)
         root_hist = self.builder.build(np.arange(n, dtype=np.int64), g, h)
         root_counts = root_hist.count.copy()
         root = _LevelNode(
@@ -162,12 +496,17 @@ class LevelWiseTrainer:
             n_reach=n,
         )
         live = {0: root}  # level-local vertex id -> node state
-        vertex_of_record = assignment  # alias for clarity
+        vertex_of_record = np.zeros(n, dtype=np.int64)
+        # Vertex bookkeeping of the level ABOVE, threaded level to level as
+        # locals (never trainer state, so concurrent/repeated ``fit`` calls
+        # cannot observe each other's stale maps): child vid -> (parent vid,
+        # is_left) and parent vid -> tree node id.
+        parent_of: dict[int, tuple[int, bool]] = {}
+        parent_node_ids: dict[int, int] = {}
 
         for depth in range(params.max_depth + 1):
             if not live:
                 break
-            next_live: dict[int, _LevelNode] = {}
             splits_this_level: dict[int, SplitDecision] = {}
 
             # Step 2 for every vertex at this level (one host round trip).
@@ -213,8 +552,8 @@ class LevelWiseTrainer:
             # Attach children pointers now that parents have real node ids.
             if depth > 0:
                 for vid, node in live.items():
-                    parent_vid, is_left = self._parent_of[vid]
-                    parent_node = self._node_ids[parent_vid]
+                    parent_vid, is_left = parent_of[vid]
+                    parent_node = parent_node_ids[parent_vid]
                     if is_left:
                         tree.set_children(parent_node, node.tree_node, tree.right[parent_node])
                     else:
@@ -223,68 +562,14 @@ class LevelWiseTrainer:
             if not splits_this_level:
                 break
 
-            # Step 3, level-wise: one pass re-assigns every record whose
-            # vertex split; leaves keep their records parked.
-            self._node_ids = {vid: node.tree_node for vid, node in live.items()}
-            self._parent_of = {}
-            new_assignment = np.full(n, -1, dtype=np.int64)
-            next_vid = 0
-            explicit_children: list[tuple[int, np.ndarray]] = []
-            for vid, decision in splits_this_level.items():
-                node = live[vid]
-                member = np.nonzero(vertex_of_record == vid)[0]
-                codes = data.codes[member, decision.field].astype(np.int64)
-                fspec = data.spec.fields[decision.field]
-                missing = codes == fspec.missing_bin
-                if decision.is_categorical:
-                    left = codes == decision.threshold_bin
-                else:
-                    left = codes <= decision.threshold_bin
-                left = np.where(missing, decision.missing_left, left)
-                left_idx = member[left]
-                right_idx = member[~left]
-                child_fracs.append(min(left_idx.size, right_idx.size) / max(member.size, 1))
-
-                lvid, rvid = next_vid, next_vid + 1
-                next_vid += 2
-                new_assignment[left_idx] = lvid
-                new_assignment[right_idx] = rvid
-                self._parent_of[lvid] = (vid, True)
-                self._parent_of[rvid] = (vid, False)
-                next_live[lvid] = _LevelNode(
-                    tree_node=-1,
-                    g_tot=decision.grad_left,
-                    h_tot=decision.hess_left,
-                    c_tot=decision.count_left,
-                    n_reach=int(left_idx.size),
-                )
-                next_live[rvid] = _LevelNode(
-                    tree_node=-1,
-                    g_tot=decision.grad_right,
-                    h_tot=decision.hess_right,
-                    c_tot=decision.count_right,
-                    n_reach=int(right_idx.size),
-                )
-                # Smaller-child rule, per vertex: bin the smaller explicitly,
-                # derive the sibling by subtraction.
-                if depth + 1 < params.max_depth:
-                    small_vid = lvid if left_idx.size <= right_idx.size else rvid
-                    small_idx = left_idx if small_vid == lvid else right_idx
-                    explicit_children.append((small_vid, small_idx))
-
-            # Step 1, level-wise: one streaming pass bins all the explicit
-            # children's records into per-vertex histograms.
-            for small_vid, small_idx in explicit_children:
-                small_hist = self.builder.build(small_idx, g, h)
-                next_live[small_vid].hist = small_hist
-                next_live[small_vid].binned_here = int(small_idx.size)
-                parent_vid, small_is_left = self._parent_of[small_vid]
-                sibling_vid = small_vid + 1 if small_is_left else small_vid - 1
-                parent_hist = live[parent_vid].hist
-                assert parent_hist is not None
-                next_live[sibling_vid].hist = parent_hist.subtract(small_hist)
-
-            vertex_of_record = new_assignment
+            # Steps 3 + 1, level-wise: one pass re-assigns every record whose
+            # vertex split (leaves keep their records parked), then one
+            # streaming pass bins all the explicit children's records.
+            parent_node_ids = {vid: node.tree_node for vid, node in live.items()}
+            next_live, parent_of, vertex_of_record, fracs = self._partition_level_reference(
+                live, splits_this_level, vertex_of_record, g, h, depth
+            )
+            child_fracs.extend(fracs)
             live = next_live
 
         tree.validate()
@@ -303,7 +588,89 @@ class LevelWiseTrainer:
         )
         return tree, work, child_fracs, root_counts
 
+    # -- one level: partition + explicit-child binning (reference) -----------------
 
-def train_level_wise(data: BinnedDataset, params: TrainParams | None = None) -> TrainResult:
+    def _partition_level_reference(
+        self,
+        live: dict[int, _LevelNode],
+        splits: dict[int, SplitDecision],
+        vertex_of_record: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        depth: int,
+    ):
+        """Scalar reference: per-vertex record scans and per-vertex builds.
+
+        One ``np.nonzero`` scan and (for the smaller child) one ``build``
+        call per splitting vertex -- the O(vertices x records) schedule the
+        matrix pass replaces.  Kept as the equivalence oracle and the
+        plainest statement of the level-wise semantics.
+        """
+        data = self.data
+        params = self.params
+        n = vertex_of_record.shape[0]
+        next_live: dict[int, _LevelNode] = {}
+        parent_of: dict[int, tuple[int, bool]] = {}
+        fracs: list[float] = []
+        new_assignment = np.full(n, -1, dtype=np.int64)
+        next_vid = 0
+        explicit_children: list[tuple[int, np.ndarray]] = []
+        for vid, decision in splits.items():
+            member = np.nonzero(vertex_of_record == vid)[0]
+            codes = data.codes[member, decision.field].astype(np.int64)
+            fspec = data.spec.fields[decision.field]
+            missing = codes == fspec.missing_bin
+            if decision.is_categorical:
+                left = codes == decision.threshold_bin
+            else:
+                left = codes <= decision.threshold_bin
+            left = np.where(missing, decision.missing_left, left)
+            left_idx = member[left]
+            right_idx = member[~left]
+            fracs.append(min(left_idx.size, right_idx.size) / max(member.size, 1))
+
+            lvid, rvid = next_vid, next_vid + 1
+            next_vid += 2
+            new_assignment[left_idx] = lvid
+            new_assignment[right_idx] = rvid
+            parent_of[lvid] = (vid, True)
+            parent_of[rvid] = (vid, False)
+            next_live[lvid] = _LevelNode(
+                tree_node=-1,
+                g_tot=decision.grad_left,
+                h_tot=decision.hess_left,
+                c_tot=decision.count_left,
+                n_reach=int(left_idx.size),
+            )
+            next_live[rvid] = _LevelNode(
+                tree_node=-1,
+                g_tot=decision.grad_right,
+                h_tot=decision.hess_right,
+                c_tot=decision.count_right,
+                n_reach=int(right_idx.size),
+            )
+            # Smaller-child rule, per vertex: bin the smaller explicitly,
+            # derive the sibling by subtraction.
+            if depth + 1 < params.max_depth:
+                small_vid = lvid if left_idx.size <= right_idx.size else rvid
+                small_idx = left_idx if small_vid == lvid else right_idx
+                explicit_children.append((small_vid, small_idx))
+
+        for small_vid, small_idx in explicit_children:
+            small_hist = self.builder.build(small_idx, g, h)
+            next_live[small_vid].hist = small_hist
+            next_live[small_vid].binned_here = int(small_idx.size)
+            parent_vid, small_is_left = parent_of[small_vid]
+            sibling_vid = small_vid + 1 if small_is_left else small_vid - 1
+            parent_hist = live[parent_vid].hist
+            assert parent_hist is not None
+            next_live[sibling_vid].hist = parent_hist.subtract(small_hist)
+
+        return next_live, parent_of, new_assignment, fracs
+
+
+def train_level_wise(
+    data: BinnedDataset, params: TrainParams | None = None, *, vectorized: bool = True
+) -> TrainResult:
     """Convenience wrapper mirroring :func:`repro.gbdt.train`."""
-    return LevelWiseTrainer(data, params).fit()
+    return LevelWiseTrainer(data, params, vectorized=vectorized).fit()

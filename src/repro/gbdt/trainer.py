@@ -305,7 +305,9 @@ class GBDTTrainer:
             )
             if task.depth + 1 < params.max_depth:
                 # Children may split, so they need histograms: bin the smaller
-                # child explicitly and derive the larger one by subtraction.
+                # child explicitly (through the builder's grouped bincount
+                # core; ``build`` is its single-group case) and derive the
+                # larger one by subtraction.
                 assert hist is not None
                 small_hist = self.builder.build(small.index, g, h)
                 small.hist = small_hist

@@ -59,6 +59,44 @@ class TreeWork:
 
 
 @dataclass
+class _StackedWork:
+    """Per-node arrays of *all* trees concatenated, plus per-tree scalars.
+
+    The whole-run reductions (``binned_records``, ``step1_bytes``, ...) used
+    to loop ``sum(... for t in profile.trees)``; stacking once and reducing
+    with single NumPy calls removes the per-tree interpreted passes.  Built
+    lazily and cached on the profile (tree lists are never mutated after
+    construction; ``scaled``/``with_trees_scaled`` return fresh profiles).
+    """
+
+    n_binned: np.ndarray  # per-node, all trees
+    n_reach: np.ndarray
+    depth: np.ndarray
+    split_evaluated: np.ndarray
+    is_split: np.ndarray
+    split_field: np.ndarray
+    relevant_fields: np.ndarray  # all trees' relevant fields, concatenated
+    sum_path_len: np.ndarray  # per-tree
+    max_depth: np.ndarray  # per-tree
+    n_nodes: np.ndarray  # per-tree
+
+    @property
+    def binned_nonzero(self) -> np.ndarray:
+        """Per-node explicit-binning counts, zeros dropped (step-1 gathers)."""
+        return self.n_binned[self.n_binned > 0]
+
+    @property
+    def split_reach(self) -> np.ndarray:
+        """Records reaching each split node, all trees (step-3 partitions)."""
+        return self.n_reach[self.is_split]
+
+    @property
+    def split_fields(self) -> np.ndarray:
+        """Predicate field of each split node, all trees."""
+        return self.split_field[self.is_split]
+
+
+@dataclass
 class WorkProfile:
     """All work quantities from one training run.
 
@@ -84,9 +122,41 @@ class WorkProfile:
     #: assumption) or "level" (level-by-level with per-vertex histograms).
     growth: str = "vertex"
 
+    @property
+    def stacked(self) -> _StackedWork:
+        """Concatenated per-node arrays (cached; see :class:`_StackedWork`)."""
+        cached = getattr(self, "_stacked", None)
+        if cached is None:
+            trees = self.trees
+            empty = np.zeros(0, dtype=np.int64)
+            cached = _StackedWork(
+                n_binned=np.concatenate([t.n_binned for t in trees]) if trees else empty,
+                n_reach=np.concatenate([t.n_reach for t in trees]) if trees else empty,
+                depth=np.concatenate([t.depth for t in trees]) if trees else empty,
+                split_evaluated=(
+                    np.concatenate([t.split_evaluated for t in trees])
+                    if trees
+                    else empty.astype(bool)
+                ),
+                is_split=(
+                    np.concatenate([t.is_split for t in trees]) if trees else empty.astype(bool)
+                ),
+                split_field=(
+                    np.concatenate([t.split_field for t in trees]) if trees else empty
+                ),
+                relevant_fields=(
+                    np.concatenate([t.relevant_fields for t in trees]) if trees else empty
+                ),
+                sum_path_len=np.array([t.sum_path_len for t in trees], dtype=np.float64),
+                max_depth=np.array([t.max_depth for t in trees], dtype=np.int64),
+                n_nodes=np.array([t.n_nodes for t in trees], dtype=np.int64),
+            )
+            self._stacked = cached
+        return cached
+
     def total_levels(self) -> int:
         """Tree levels processed across the run (level-wise sync points)."""
-        return int(sum(t.max_depth + 1 for t in self.trees))
+        return int((self.stacked.max_depth + 1).sum())
 
     def mean_live_vertices(self) -> float:
         """Average vertices evaluated per level (level-wise histogram
@@ -180,6 +250,10 @@ class WorkProfile:
 
     def binned_records(self) -> float:
         """Total records explicitly binned across all nodes and trees."""
+        return float(self.stacked.n_binned.sum())
+
+    def binned_records_reference(self) -> float:
+        """Per-tree reference loop for :meth:`binned_records` (tests only)."""
         return float(sum(t.n_binned.sum() for t in self.trees))
 
     def binned_record_fields(self) -> float:
@@ -188,6 +262,18 @@ class WorkProfile:
 
     def step1_bytes(self, layout: RecordLayout) -> float:
         """DRAM bytes for step 1: pointer stream + row-major records + g/h."""
+        n = self.n_records
+        binned = self.stacked.binned_nonzero
+        if binned.size == 0:
+            return 0.0
+        return float(
+            np.sum(layout.row_bytes_gather(binned, n))
+            + np.sum(layout.stats_bytes_gather(binned, n))
+            + np.sum(layout.pointer_bytes(binned))
+        )
+
+    def step1_bytes_reference(self, layout: RecordLayout) -> float:
+        """Per-tree reference loop for :meth:`step1_bytes` (tests only)."""
         n = self.n_records
         total = 0.0
         for t in self.trees:
@@ -225,6 +311,10 @@ class WorkProfile:
 
     def step2_evaluations(self) -> int:
         """Nodes whose histogram was scanned for a split."""
+        return int(self.stacked.split_evaluated.sum())
+
+    def step2_evaluations_reference(self) -> int:
+        """Per-tree reference loop for :meth:`step2_evaluations` (tests only)."""
         return int(sum(t.split_evaluated.sum() for t in self.trees))
 
     def step2_bin_scans(self) -> float:
@@ -235,6 +325,10 @@ class WorkProfile:
 
     def partition_records(self) -> float:
         """Total records partitioned at split nodes (step-3 op count)."""
+        return float(self.stacked.split_reach.sum())
+
+    def partition_records_reference(self) -> float:
+        """Per-tree reference loop for :meth:`partition_records` (tests only)."""
         return float(sum(t.n_reach[t.is_split].sum() for t in self.trees))
 
     def step3_bytes(self, layout: RecordLayout, column_format: bool) -> float:
@@ -245,6 +339,20 @@ class WorkProfile:
         to use one field (the waste the paper's third contribution removes).
         Both variants read and write the record-pointer streams.
         """
+        n = self.n_records
+        stk = self.stacked
+        reach = stk.split_reach
+        if reach.size == 0:
+            return 0.0
+        if column_format:
+            total = float(np.sum(layout.column_bytes_gather(stk.split_fields, reach, n)))
+        else:
+            total = float(np.sum(layout.row_bytes_gather(reach, n)))
+        # Read the incoming pointer stream, write true/false streams.
+        return total + 2.0 * float(np.sum(layout.pointer_bytes(reach)))
+
+    def step3_bytes_reference(self, layout: RecordLayout, column_format: bool) -> float:
+        """Per-tree reference loop for :meth:`step3_bytes` (tests only)."""
         n = self.n_records
         total = 0.0
         for t in self.trees:
@@ -257,7 +365,6 @@ class WorkProfile:
                 total += float(np.sum(layout.column_bytes_gather(fields, reach, n)))
             else:
                 total += float(np.sum(layout.row_bytes_gather(reach, n)))
-            # Read the incoming pointer stream, write true/false streams.
             total += 2.0 * float(np.sum(layout.pointer_bytes(reach)))
         return total
 
@@ -265,6 +372,10 @@ class WorkProfile:
 
     def traversal_hops(self) -> float:
         """Total interior-node visits over all records and trees."""
+        return float(self.stacked.sum_path_len.sum())
+
+    def traversal_hops_reference(self) -> float:
+        """Per-tree reference loop for :meth:`traversal_hops` (tests only)."""
         return float(sum(t.sum_path_len for t in self.trees))
 
     def traversal_records(self) -> float:
@@ -282,6 +393,23 @@ class WorkProfile:
         in; otherwise full row-major records do.
         """
         n = self.n_records
+        n_trees = self.n_trees
+        if n_trees == 0:
+            return 0.0
+        if column_format:
+            # All trees' relevant-field column streams in one exact
+            # integer-block computation (column bytes are per-field, so
+            # concatenating across trees sums the same terms).
+            total = layout.column_bytes_sequential(self.stacked.relevant_fields, n)
+        else:
+            total = n_trees * layout.row_bytes_sequential(n)
+        total += n_trees * (2.0 * layout.stats_bytes_sequential(n))  # g/h read + write
+        total += n_trees * float(layout.pointer_bytes(n))  # ground-truth labels
+        return total
+
+    def step5_bytes_reference(self, layout: RecordLayout, column_format: bool) -> float:
+        """Per-tree reference loop for :meth:`step5_bytes` (tests only)."""
+        n = self.n_records
         total = 0.0
         for t in self.trees:
             if column_format:
@@ -295,13 +423,10 @@ class WorkProfile:
     # -- whole-run summaries -----------------------------------------------------------
 
     def mean_leaf_depth(self) -> float:
-        depths = []
-        for t in self.trees:
-            leaf = ~t.is_split
-            depths.append(t.depth[leaf])
-        if not depths:
+        stk = self.stacked
+        if stk.depth.size == 0:
             return 0.0
-        return float(np.concatenate(depths).mean())
+        return float(stk.depth[~stk.is_split].mean())
 
     def mean_max_depth(self) -> float:
         if not self.trees:

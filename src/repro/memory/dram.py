@@ -13,6 +13,27 @@ Used two ways:
   that gathers degrade with selection density;
 * through :mod:`repro.memory.profile`, which calibrates pattern-specific
   sustained bandwidths consumed by the analytic timing models.
+
+Two scheduler implementations produce the identical request schedule:
+
+* :meth:`ChannelSim.run_reference` -- the plain ``while pending`` loop, one
+  interpreted iteration per request with an O(window) scan and an O(n)
+  ``pending.pop(0)``.  It is the executable statement of the policy and the
+  oracle the equivalence tests run against.
+* :meth:`ChannelSim.run` -- array-based bank-state stepping.  The key
+  observation is that whenever the oldest pending request is a row hit,
+  FR-FCFS must serve it (position 0 is always arrival-eligible and the scan
+  starts there), and serving a hit never changes any bank's open row -- so a
+  maximal run of consecutive oldest-first hits can be detected with one
+  vectorized ``open_row[banks] == rows`` comparison against *current* state
+  and serviced in bulk.  Within such a stretch the per-bank read-issue chain
+  and the shared-bus chain are max-plus recurrences,
+  ``x_i = max(u_i, x_{i-1} + burst)``, which collapse to
+  ``np.maximum.accumulate`` over ``u_i - i*burst`` (the same trick PR 1 used
+  for ``simulate_step1_micro``).  Misses and dirty scheduling windows fall
+  back to a scalar step over plain Python lists and a bounded window buffer,
+  which still removes the reference's O(n) list pops and per-request NumPy
+  scalar indexing.
 """
 
 from __future__ import annotations
@@ -75,6 +96,13 @@ class DRAMStats:
         return self.bytes_per_cycle / peak if peak else 0.0
 
 
+#: First chunk size of the vectorized hit-run scan; doubles per chunk so a
+#: long streaming stretch costs O(run) compares while a short one wastes at
+#: most the initial chunk.
+_SCAN_CHUNK = 64
+_SCAN_CHUNK_MAX = 8192
+
+
 class ChannelSim:
     """One channel: 16 banks, a data bus, and an FR-FCFS scheduling window."""
 
@@ -107,7 +135,6 @@ class ChannelSim:
             bank.act_time = act_issue
             bank.row_ready_at = act_issue + cfg.t_rcd
             rd_issue = bank.row_ready_at
-
         data_start = max(rd_issue + cfg.t_cas, self.bus_free_at)
         completion = data_start + cfg.burst_cycles
         self.bus_free_at = completion
@@ -115,14 +142,15 @@ class ChannelSim:
         bank.rd_ready_at = rd_issue + cfg.burst_cycles
         return completion
 
-    def run(
+    def run_reference(
         self, arrivals: np.ndarray, banks: np.ndarray, rows: np.ndarray
     ) -> tuple[int, float]:
         """FR-FCFS service of a request stream; returns (makespan, latency sum).
 
         The scheduler looks at the next ``window`` pending requests and
         services a row-buffer hit first (first-ready), falling back to the
-        oldest request -- DRAMSim2's default policy.
+        oldest request -- DRAMSim2's default policy.  Scalar reference
+        implementation; :meth:`run` reproduces this schedule exactly.
         """
         n = len(arrivals)
         if n == 0:
@@ -152,13 +180,181 @@ class ChannelSim:
                 makespan = done
         return makespan, latency_sum
 
+    def run(
+        self, arrivals: np.ndarray, banks: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, float]:
+        """Vectorized FR-FCFS service; identical schedule to ``run_reference``.
+
+        Bulk path: while the oldest pending request is a row hit (and the
+        window buffer holds a gap-free run of trace positions), the maximal
+        hit run is found with chunked vectorized compares and serviced through
+        two ``np.maximum.accumulate`` max-plus chains (per-bank read issue,
+        then the shared bus).  Everything else takes a scalar step on plain
+        Python state with a bounded window buffer.
+        """
+        n = len(arrivals)
+        if n == 0:
+            return 0, 0.0
+        cfg = self.config
+        burst = cfg.burst_cycles
+        t_cas = cfg.t_cas
+        t_rp = cfg.t_rp
+        t_rcd = cfg.t_rcd
+        t_ras = cfg.t_ras
+
+        arr = np.asarray(arrivals, dtype=np.int64)
+        bnk = np.asarray(banks, dtype=np.int64)
+        row = np.asarray(rows, dtype=np.int64)
+        arr0 = np.maximum(arr, 0)  # service-time clamp, as in _service
+        arr_l = arr.tolist()
+        bnk_l = bnk.tolist()
+        row_l = row.tolist()
+
+        # Bank state as parallel scalars: lists for the scalar step, plus an
+        # open-row array for the vectorized hit compare (hits never mutate it,
+        # so only the scalar miss path writes both copies).
+        open_row = np.array([b.open_row for b in self.banks], dtype=np.int64)
+        open_row_l = open_row.tolist()
+        act_time = [b.act_time for b in self.banks]
+        row_ready = [b.row_ready_at for b in self.banks]
+        precharged = [b.precharged_at for b in self.banks]
+        rd_ready = [b.rd_ready_at for b in self.banks]
+        bus_free = self.bus_free_at
+        row_hits = self.row_hits
+        latency_sum = 0.0
+        makespan = 0
+        window = self.window
+
+        # ``pending`` is represented as buf + [head, head+1, ..., n-1]: the
+        # buffer holds the first min(window, remaining) pending positions in
+        # schedule order (ascending trace positions, possibly with gaps where
+        # hits were served out of FCFS order).
+        buf: list[int] = []
+        head = 0
+        while buf or head < n:
+            while len(buf) < window and head < n:
+                buf.append(head)
+                head += 1
+
+            i0 = buf[0]
+            last = buf[-1]
+            if (
+                last - i0 + 1 == len(buf)  # gap-free buffer ...
+                and open_row_l[bnk_l[i0]] == row_l[i0]  # ... and oldest is a hit
+            ):
+                # Contiguity extends past the buffer into the unbuffered tail
+                # only when the buffer runs right up to it.
+                limit = n if last == head - 1 else last + 1
+                # Maximal run of oldest-first hits vs CURRENT open rows.
+                m = 0
+                chunk = _SCAN_CHUNK
+                while True:
+                    lo = i0 + m
+                    hi = min(lo + chunk, limit)
+                    if lo >= hi:
+                        break
+                    hits = open_row[bnk[lo:hi]] == row[lo:hi]
+                    if hits.all():
+                        m += hi - lo
+                        chunk = min(chunk * 2, _SCAN_CHUNK_MAX)
+                    else:
+                        m += int(np.argmin(hits))
+                        break
+
+                sl = slice(i0, i0 + m)
+                sb = bnk[sl]
+                # Per-bank read-issue chain: rd_issue = max(max(arrival, 0),
+                # row_ready) folded with the burst-spaced previous issue.
+                rd_issue = np.empty(m, dtype=np.int64)
+                present = np.flatnonzero(np.bincount(sb, minlength=cfg.n_banks))
+                sa = arr0[sl]
+                for b in present:
+                    mask = sb == b
+                    u = np.maximum(sa[mask], row_ready[b])
+                    offs = np.arange(u.shape[0], dtype=np.int64) * burst
+                    seed = u - offs
+                    seed[0] = max(int(u[0]), rd_ready[b])
+                    issue = np.maximum.accumulate(seed) + offs
+                    rd_issue[mask] = issue
+                    rd_ready[b] = int(issue[-1]) + burst
+                # Shared-bus chain in trace order.
+                v = rd_issue + t_cas
+                offs = np.arange(m, dtype=np.int64) * burst
+                seed = v - offs
+                seed[0] = max(int(v[0]), bus_free)
+                completion = np.maximum.accumulate(seed) + offs + burst
+                bus_free = int(completion[-1])
+                latency_sum += float((completion - arr[sl]).sum())
+                row_hits += m
+                if bus_free > makespan:
+                    makespan = bus_free
+                if i0 + m > last:
+                    head = max(head, i0 + m)
+                    buf = []
+                else:
+                    buf = list(range(i0 + m, last + 1))
+                continue
+
+            # Scalar step: O(window) first-ready scan, then one service.
+            now = bus_free if bus_free > arr_l[i0] else arr_l[i0]
+            chosen = 0
+            for k in range(len(buf)):
+                ix = buf[k]
+                if arr_l[ix] > now:
+                    continue
+                if open_row_l[bnk_l[ix]] == row_l[ix]:
+                    chosen = k
+                    break
+            ix = buf.pop(chosen)
+            a = arr_l[ix]
+            a0 = a if a > 0 else 0
+            b = bnk_l[ix]
+            r = row_l[ix]
+            if open_row_l[b] == r:
+                row_hits += 1
+                rd_issue_s = max(a0, row_ready[b], rd_ready[b])
+            else:
+                if open_row_l[b] >= 0:
+                    pre_issue = max(a0, act_time[b] + t_ras, rd_ready[b])
+                    precharged[b] = pre_issue + t_rp
+                act_issue = max(a0, precharged[b])
+                open_row_l[b] = r
+                open_row[b] = r
+                act_time[b] = act_issue
+                row_ready[b] = act_issue + t_rcd
+                rd_issue_s = row_ready[b]
+            data_start = max(rd_issue_s + t_cas, bus_free)
+            done = data_start + burst
+            bus_free = done
+            rd_ready[b] = rd_issue_s + burst
+            latency_sum += done - a
+            if done > makespan:
+                makespan = done
+
+        # Fold the final state back into the persistent bank objects so
+        # repeated / mixed run calls observe the same channel history the
+        # reference would.
+        for b in range(cfg.n_banks):
+            bank = self.banks[b]
+            bank.open_row = open_row_l[b]
+            bank.act_time = act_time[b]
+            bank.row_ready_at = row_ready[b]
+            bank.precharged_at = precharged[b]
+            bank.rd_ready_at = rd_ready[b]
+        self.bus_free_at = bus_free
+        self.row_hits = row_hits
+        return makespan, latency_sum
+
 
 class DRAMSimulator:
     """Multi-channel DRAM: distributes a block trace and aggregates stats."""
 
-    def __init__(self, config: DRAMConfig | None = None, window: int = 16) -> None:
+    def __init__(
+        self, config: DRAMConfig | None = None, window: int = 16, *, vectorized: bool = True
+    ) -> None:
         self.config = config or DRAMConfig()
         self.window = window
+        self.vectorized = vectorized
         self.mapping = AddressMapping(self.config)
 
     def run(self, block_addrs: np.ndarray, arrivals: np.ndarray | None = None) -> DRAMStats:
@@ -187,7 +383,8 @@ class DRAMSimulator:
             if not mask.any():
                 continue
             sim = ChannelSim(self.config, self.window)
-            span, lat = sim.run(arrivals[mask], bank[mask], row[mask])
+            service = sim.run if self.vectorized else sim.run_reference
+            span, lat = service(arrivals[mask], bank[mask], row[mask])
             latency_sum += lat
             row_hits += sim.row_hits
             if span > makespan:

@@ -1,0 +1,140 @@
+"""Tests for the recorded benchmark layer (repro.experiments.bench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.bench import (
+    BENCH_SCHEMA_VERSION,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_bench(quick=True, repeats=1, seed=3)
+
+
+class TestRunBench:
+    def test_validates(self, doc):
+        validate_bench(doc)
+
+    def test_covers_all_cell_kinds(self, doc):
+        kinds = {cell["kind"] for cell in doc["cells"]}
+        assert kinds == {"gbdt_fit", "gbdt_level_core", "dram_trace"}
+
+    def test_quick_flag_recorded(self, doc):
+        assert doc["quick"] is True
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_identity_flags_all_true(self, doc):
+        """The bench itself checks vectorized == reference on every cell."""
+        for cell in doc["cells"]:
+            flags = [v for k, v in cell.items() if k.startswith("identical")]
+            assert flags and all(flags), cell["id"]
+
+    def test_speedups_positive(self, doc):
+        for cell in doc["cells"]:
+            assert cell["speedup_p50"] > 0
+
+    def test_percentiles_bracket_samples(self, doc):
+        for cell in doc["cells"]:
+            for side in ("vectorized", "reference"):
+                timing = cell[side]
+                assert min(timing["durations_s"]) <= timing["p50_s"]
+                assert timing["p50_s"] <= timing["p99_s"] <= max(timing["durations_s"])
+
+    def test_host_and_provenance(self, doc):
+        assert doc["host"]["numpy"]
+        assert doc["git_rev"]
+        assert doc["sim_code"]
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_bench(quick=True, repeats=0)
+
+
+class TestWriteBench:
+    def test_round_trip(self, doc, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench(doc, str(path))
+        loaded = json.loads(path.read_text())
+        validate_bench(loaded)
+        assert loaded["cells"] == doc["cells"]
+
+    def test_refuses_invalid(self, doc, tmp_path):
+        broken = copy.deepcopy(doc)
+        broken["cells"] = []
+        with pytest.raises(ValueError):
+            write_bench(broken, str(tmp_path / "nope.json"))
+
+
+class TestValidateBench:
+    def _broken(self, doc, mutate):
+        clone = copy.deepcopy(doc)
+        mutate(clone)
+        with pytest.raises(ValueError, match="invalid bench document"):
+            validate_bench(clone)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_bench([])
+
+    def test_rejects_wrong_schema_version(self, doc):
+        self._broken(doc, lambda d: d.update(schema_version=999))
+
+    def test_rejects_missing_host_key(self, doc):
+        self._broken(doc, lambda d: d["host"].pop("numpy"))
+
+    def test_rejects_empty_cells(self, doc):
+        self._broken(doc, lambda d: d.update(cells=[]))
+
+    def test_rejects_duplicate_cell_ids(self, doc):
+        self._broken(doc, lambda d: d["cells"].append(d["cells"][0]))
+
+    def test_rejects_unknown_kind(self, doc):
+        self._broken(doc, lambda d: d["cells"][0].update(kind="mystery"))
+
+    def test_rejects_duration_count_mismatch(self, doc):
+        self._broken(
+            doc, lambda d: d["cells"][0]["vectorized"]["durations_s"].append(0.1)
+        )
+
+    def test_rejects_negative_duration(self, doc):
+        def mutate(d):
+            d["cells"][0]["reference"]["durations_s"][0] = -1.0
+
+        self._broken(doc, mutate)
+
+    def test_rejects_non_bool_quick(self, doc):
+        self._broken(doc, lambda d: d.update(quick="yes"))
+
+    def test_rejects_missing_speedup(self, doc):
+        self._broken(doc, lambda d: d["cells"][0].pop("speedup_p50"))
+
+
+class TestCommittedTrajectory:
+    def test_committed_documents_validate(self):
+        """Every BENCH_<n>.json committed at the repo root must parse and
+        validate -- the trajectory stays machine-readable forever."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        committed = sorted(root.glob("BENCH_*.json"))
+        assert committed, "expected at least one committed bench document"
+        for path in committed:
+            validate_bench(json.loads(path.read_text()))
+
+
+class TestCli:
+    def test_bench_quick_cli(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--repeats", "1", "--out", str(out)]) == 0
+        validate_bench(json.loads(out.read_text()))
+        stdout = capsys.readouterr().out
+        assert "repro bench (quick grid" in stdout
+        assert "dram_trace/gather" in stdout

@@ -1,0 +1,314 @@
+"""Vectorized-vs-scalar-reference equivalence for the hot cores.
+
+Every vectorized path in the training and memory layers keeps its scalar
+reference implementation as an oracle; these tests assert bit-identity
+(not approximate equality) between the two on randomized inputs:
+
+* grouped histogram binning vs per-group ``build`` calls;
+* the batched level-wide split search vs per-vertex ``best_split``;
+* the one-pass level partition vs the per-vertex scan/build reference;
+* the array-based FR-FCFS scheduler vs the plain ``while pending`` loop;
+* whole trainer runs (trees, splits, losses, work profiles) across a
+  small trees x depth x scale grid.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import generate
+from repro.gbdt import TrainParams, train_level_wise
+from repro.gbdt import split as split_mod
+from repro.gbdt.histogram import HistogramBuilder
+from repro.gbdt.levelwise import LevelWiseTrainer
+from repro.gbdt.split import SplitSearcher
+from repro.memory import DRAMConfig, DRAMSimulator
+from repro.memory.dram import ChannelSim
+from tests.conftest import small_spec_factory
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(small_spec_factory(n_records=700, seed=21))
+
+
+@pytest.fixture(scope="module")
+def builder(data):
+    return HistogramBuilder(data)
+
+
+def _random_stats(n: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n), rng.uniform(0.05, 1.0, size=n)
+
+
+class TestGroupedHistogram:
+    """``build_grouped`` == one ``build`` per group, to the last ulp."""
+
+    @given(n_groups=st.integers(1, 9), seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_group_build(self, data, builder, n_groups, seed):
+        rng = np.random.default_rng(seed)
+        g, h = _random_stats(data.n_records, seed)
+        index = np.flatnonzero(rng.random(data.n_records) < 0.6)
+        group_of = rng.integers(0, n_groups, size=index.size)
+        grouped = builder.build_grouped(index, group_of, n_groups, g, h)
+        assert len(grouped) == n_groups
+        for k in range(n_groups):
+            solo = builder.build(index[group_of == k], g, h)
+            assert np.array_equal(grouped[k].count, solo.count)
+            assert np.array_equal(grouped[k].grad, solo.grad)
+            assert np.array_equal(grouped[k].hess, solo.hess)
+
+    def test_empty_index(self, data, builder):
+        g, h = _random_stats(data.n_records, 0)
+        empty = np.empty(0, dtype=np.int64)
+        count, grad, hess = builder.build_grouped_arrays(empty, empty, 3, g, h)
+        assert count.shape == grad.shape == hess.shape == (3, builder.n_bins)
+        assert not count.any() and not grad.any() and not hess.any()
+
+    def test_validation(self, data, builder):
+        g, h = _random_stats(data.n_records, 1)
+        index = np.arange(5, dtype=np.int64)
+        with pytest.raises(ValueError, match="n_groups"):
+            builder.build_grouped_arrays(index, np.zeros(5, dtype=np.int64), -1, g, h)
+        with pytest.raises(ValueError, match="shape"):
+            builder.build_grouped_arrays(index, np.zeros(4, dtype=np.int64), 2, g, h)
+        with pytest.raises(ValueError, match="group ids"):
+            builder.build_grouped_arrays(index, np.full(5, 2, dtype=np.int64), 2, g, h)
+
+
+class TestBestSplitMany:
+    """The batched level-wide search == per-vertex ``best_split`` per row."""
+
+    def _histograms(self, data, builder, k: int, seed: int):
+        rng = np.random.default_rng(seed)
+        g, h = _random_stats(data.n_records, seed + 1)
+        count = np.empty((k, builder.n_bins))
+        grad = np.empty((k, builder.n_bins))
+        hess = np.empty((k, builder.n_bins))
+        g_tot = np.empty(k)
+        h_tot = np.empty(k)
+        c_tot = np.empty(k)
+        hists = []
+        for j in range(k):
+            index = np.flatnonzero(rng.random(data.n_records) < rng.uniform(0.05, 0.9))
+            hist = builder.build(index, g, h)
+            hists.append(hist)
+            count[j], grad[j], hess[j] = hist.count, hist.grad, hist.hess
+            g_tot[j] = g[index].sum()
+            h_tot[j] = h[index].sum()
+            c_tot[j] = float(index.size)
+        return hists, count, grad, hess, g_tot, h_tot, c_tot
+
+    @given(k=st.integers(1, 8), seed=st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_per_row_best_split(self, data, builder, k, seed):
+        searcher = SplitSearcher(data.spec, builder.offsets, TrainParams().split)
+        hists, count, grad, hess, g_tot, h_tot, c_tot = self._histograms(
+            data, builder, k, seed
+        )
+        batch = searcher.best_split_many(count, grad, hess, g_tot, h_tot, c_tot)
+        assert len(batch) == k
+        for j in range(k):
+            solo = searcher.best_split(hists[j], g_tot[j], h_tot[j], c_tot[j])
+            assert batch[j] == solo
+
+    def test_chunked_recursion_matches(self, data, builder, monkeypatch):
+        """Rows above the cache-residency chunk split recursively -- the
+        chunk boundary must never change any row's decision."""
+        searcher = SplitSearcher(data.spec, builder.offsets, TrainParams().split)
+        hists, count, grad, hess, g_tot, h_tot, c_tot = self._histograms(
+            data, builder, 7, seed=99
+        )
+        whole = searcher.best_split_many(count, grad, hess, g_tot, h_tot, c_tot)
+        monkeypatch.setattr(split_mod, "_CHUNK_ELEMS", builder.n_bins * 2)
+        chunked = searcher.best_split_many(count, grad, hess, g_tot, h_tot, c_tot)
+        assert chunked == whole
+
+    def test_single_row_matrix(self, data, builder):
+        searcher = SplitSearcher(data.spec, builder.offsets, TrainParams().split)
+        hists, count, grad, hess, g_tot, h_tot, c_tot = self._histograms(
+            data, builder, 1, seed=5
+        )
+        (decision,) = searcher.best_split_many(count, grad, hess, g_tot, h_tot, c_tot)
+        assert decision == searcher.best_split(hists[0], g_tot[0], h_tot[0], c_tot[0])
+
+
+def _capture_all_levels(trainer: LevelWiseTrainer) -> list[dict]:
+    """Run one reference fit, capturing every level-partition call's inputs."""
+    captured: list[dict] = []
+    orig = trainer._partition_level_reference
+
+    def hook(live, splits, vertex_of_record, g, h, depth):
+        captured.append(
+            {
+                "live": dict(live),
+                "splits": dict(splits),
+                "vertex_of_record": vertex_of_record.copy(),
+                "g": g.copy(),
+                "h": h.copy(),
+                "depth": depth,
+            }
+        )
+        return orig(live, splits, vertex_of_record, g, h, depth)
+
+    trainer._partition_level_reference = hook
+    try:
+        trainer.fit()
+    finally:
+        trainer._partition_level_reference = orig
+    return captured
+
+
+class TestLevelPartition:
+    """One-pass partition == per-vertex reference on real captured levels."""
+
+    @pytest.fixture(scope="class")
+    def levels(self, data):
+        trainer = LevelWiseTrainer(
+            data, TrainParams(n_trees=2, max_depth=5), vectorized=False
+        )
+        captured = _capture_all_levels(trainer)
+        assert captured, "the reference fit never partitioned a level"
+        return trainer, captured
+
+    def test_captures_both_binning_classes(self, levels):
+        trainer, captured = levels
+        binning = {c["depth"] + 1 < trainer.params.max_depth for c in captured}
+        assert binning == {True, False}
+
+    def test_partition_matches_reference(self, levels):
+        trainer, captured = levels
+        for cap in captured:
+            live, splits = cap["live"], cap["splits"]
+            vor, g, h, depth = cap["vertex_of_record"], cap["g"], cap["h"], cap["depth"]
+            n_live = len(live)
+            split_vids = sorted(splits)
+            decisions = [splits[v] for v in split_vids]
+            n_bins = trainer.builder.n_bins
+            hist_c = np.zeros((n_live, n_bins))
+            hist_g = np.zeros((n_live, n_bins))
+            hist_h = np.zeros((n_live, n_bins))
+            for vid, node in live.items():
+                if node.hist is not None:
+                    hist_c[vid] = node.hist.count
+                    hist_g[vid] = node.hist.grad
+                    hist_h[vid] = node.hist.hess
+
+            next_live, _parent_of, ref_assignment, ref_fracs = (
+                trainer._partition_level_reference(live, splits, vor, g, h, depth)
+            )
+            (
+                vec_assignment,
+                vec_fracs,
+                g_tot,
+                h_tot,
+                c_tot,
+                n_reach,
+                binned,
+                out_c,
+                out_g,
+                out_h,
+                has_hist,
+            ) = trainer._partition_level_vectorized(
+                n_live, split_vids, decisions, vor, hist_c, hist_g, hist_h, g, h, depth
+            )
+
+            assert np.array_equal(ref_assignment, vec_assignment)
+            assert ref_fracs == vec_fracs
+            assert sorted(next_live) == list(range(2 * len(split_vids)))
+            for vid, node in next_live.items():
+                assert g_tot[vid] == node.g_tot
+                assert h_tot[vid] == node.h_tot
+                assert c_tot[vid] == node.c_tot
+                assert n_reach[vid] == node.n_reach
+                assert has_hist[vid] == (node.hist is not None)
+                assert binned[vid] == node.binned_here
+                if node.hist is not None:
+                    assert np.array_equal(out_c[vid], node.hist.count)
+                    assert np.array_equal(out_g[vid], node.hist.grad)
+                    assert np.array_equal(out_h[vid], node.hist.hess)
+
+
+class TestChannelSimEquivalence:
+    """Array-based FR-FCFS stepping == the ``while pending`` reference."""
+
+    @given(
+        n=st.integers(0, 120),
+        window=st.sampled_from([1, 2, 3, 16, 64]),
+        seed=st.integers(0, 10**6),
+        hot_rows=st.booleans(),
+        sorted_arrivals=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_run_matches_reference(self, n, window, seed, hot_rows, sorted_arrivals):
+        rng = np.random.default_rng(seed)
+        cfg = DRAMConfig()
+        banks = rng.integers(0, cfg.n_banks, size=n)
+        rows = rng.integers(0, 4 if hot_rows else 10**6, size=n)
+        arrivals = rng.integers(-4, 300, size=n)
+        if sorted_arrivals:
+            arrivals.sort()
+        vec, ref = ChannelSim(cfg, window), ChannelSim(cfg, window)
+        assert vec.run(arrivals, banks, rows) == ref.run_reference(arrivals, banks, rows)
+        assert vec.row_hits == ref.row_hits
+        assert vec.bus_free_at == ref.bus_free_at
+        for bank_v, bank_r in zip(vec.banks, ref.banks):
+            assert bank_v == bank_r
+
+    def test_streaming_then_gather(self):
+        """A long pure-hit stretch (bulk path) followed by conflicts."""
+        cfg = DRAMConfig()
+        rng = np.random.default_rng(3)
+        banks = np.concatenate(
+            [np.zeros(500, dtype=np.int64), rng.integers(0, cfg.n_banks, 500)]
+        )
+        rows = np.concatenate(
+            [np.zeros(500, dtype=np.int64), rng.integers(0, 10**6, 500)]
+        )
+        arrivals = np.zeros(1000, dtype=np.int64)
+        vec, ref = ChannelSim(cfg), ChannelSim(cfg)
+        assert vec.run(arrivals, banks, rows) == ref.run_reference(arrivals, banks, rows)
+        assert vec.row_hits == ref.row_hits
+
+    def test_simulator_paths_agree(self):
+        rng = np.random.default_rng(11)
+        addrs = rng.integers(0, 1 << 22, size=20_000, dtype=np.int64)
+        fast = DRAMSimulator(vectorized=True).run(addrs)
+        slow = DRAMSimulator(vectorized=False).run(addrs)
+        assert fast.total_cycles == slow.total_cycles
+        assert fast.row_hits == slow.row_hits
+        assert fast.latency_sum == slow.latency_sum
+
+
+class TestTrainerGrid:
+    """Whole-trainer identity: same trees, same splits, same losses."""
+
+    @pytest.mark.parametrize(
+        "n_records,trees,depth",
+        [(300, 2, 3), (700, 3, 5), (1200, 2, 7)],
+    )
+    def test_vectorized_reference_identity(self, n_records, trees, depth):
+        data = generate(small_spec_factory(n_records=n_records, seed=n_records))
+        params = TrainParams(n_trees=trees, max_depth=depth)
+        vec = train_level_wise(data, params, vectorized=True)
+        ref = train_level_wise(data, params, vectorized=False)
+        assert np.array_equal(vec.losses, ref.losses)
+        for tv, tr in zip(vec.trees, ref.trees):
+            assert np.array_equal(tv.field, tr.field)
+            assert np.array_equal(tv.threshold_bin, tr.threshold_bin)
+            assert np.array_equal(tv.left, tr.left)
+            assert np.array_equal(tv.right, tr.right)
+            assert np.array_equal(tv.weight, tr.weight)
+        for wv, wr in zip(vec.profile.trees, ref.profile.trees):
+            assert np.array_equal(wv.depth, wr.depth)
+            assert np.array_equal(wv.n_reach, wr.n_reach)
+            assert np.array_equal(wv.n_binned, wr.n_binned)
+            assert np.array_equal(wv.split_evaluated, wr.split_evaluated)
+            assert np.array_equal(wv.is_split, wr.is_split)
+            assert np.array_equal(wv.split_field, wr.split_field)
+        assert vec.profile.smaller_child_fraction_mean == pytest.approx(
+            ref.profile.smaller_child_fraction_mean
+        )
