@@ -23,7 +23,7 @@ __version__ = "1.0.0"
 __all__ = ["quick_compare", "__version__"]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy import keeps `import repro.datasets` cheap and avoids importing
     # the whole simulator stack for dataset-only users.
     if name == "quick_compare":

@@ -28,6 +28,10 @@ import argparse
 import json
 import pathlib
 import sys
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # annotation-only: commands lazy-import the heavy layers
+    from .experiments import ScenarioSpec, SweepResult
 
 from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
 from .gbdt import TrainParams, train, train_level_wise
@@ -367,6 +371,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "validate", parents=[common], help="run the reproduction claim checklist"
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project invariant linter (RPR rules)",
+        description="AST-based checker for the invariants the orchestration "
+        "stack depends on: atomic store writes, hash-stable keys, "
+        "vectorized/reference twin coverage, fork-safe worker state, and "
+        "more.  See docs/development.md for the rule catalogue and the "
+        "inline '# repro: noqa RPRxxx -- reason' suppression policy.",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (default: src tests)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is what CI archives)",
+    )
+    p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule codes to run (e.g. RPR001,RPR004)",
+    )
     return parser
 
 
@@ -457,7 +489,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return _cmd_sweep_design_space(args)
 
 
-def _resumable_results(path: pathlib.Path, mode: str = "compare"):
+def _resumable_results(
+    path: pathlib.Path, mode: str = "compare"
+) -> "dict[str, SweepResult]":
     """Parse a JSONL sweep manifest into ``(cache_key, SweepResult)`` pairs
     that are safe to resume from.
 
@@ -494,7 +528,9 @@ def _resumable_results(path: pathlib.Path, mode: str = "compare"):
     return pairs
 
 
-def _manifest_entries(path: pathlib.Path):
+def _manifest_entries(
+    path: pathlib.Path,
+) -> "tuple[list[tuple[dict, SweepResult]], int]":
     """Every parseable ``SweepResult`` line of a manifest (errors included).
 
     Returns ``(entries, skipped)`` where ``entries`` are ``(raw_dict,
@@ -523,7 +559,9 @@ def _line_is_success(d: dict) -> bool:
     return d.get("error") is None and payload is not None
 
 
-def _dedupe_manifest_lines(pairs):
+def _dedupe_manifest_lines(
+    pairs: "Iterable[tuple[dict, SweepResult]]",
+) -> "dict[tuple[str, str], dict]":
     """Collapse manifest lines to one winner per ``(kind, cache_key)``.
 
     Manifests append chronologically (``--resume`` re-runs are written
@@ -549,7 +587,7 @@ def _dedupe_manifest_lines(pairs):
     return best, order, collapsed
 
 
-def _provenance(result) -> str:
+def _provenance(result: "SweepResult") -> str:
     if result.error is not None:
         return "error"
     if result.stored:
@@ -557,7 +595,7 @@ def _provenance(result) -> str:
     return "hit" if result.cache_hit else "trained"
 
 
-def _metric_cells(result) -> list[str]:
+def _metric_cells(result: "SweepResult") -> list[str]:
     """The ``[booster time, speedup]`` table cells for one sweep result.
 
     Compare results report training seconds, inference results report
@@ -582,13 +620,13 @@ def _metric_header(mode: str) -> str:
     return "booster (ms)" if mode == "inference" else "booster (s)"
 
 
-def _duration_cell(result) -> str:
+def _duration_cell(result: "SweepResult") -> str:
     """The recorded wall-seconds table cell (``-`` when never recorded:
     error results and manifests written before durations existed)."""
     return "-" if result.duration_s is None else f"{result.duration_s:.2f}"
 
 
-def _infer_axes(scenarios) -> list[str]:
+def _infer_axes(scenarios: "Sequence[ScenarioSpec]") -> list[str]:
     """The axes along which ``scenarios`` actually vary (for ``report``).
 
     Manifests do not record the sweep's axis declarations, so the report
@@ -621,7 +659,9 @@ def _infer_axes(scenarios) -> list[str]:
     return varying or ["dataset"]
 
 
-def _expand_cli_scenarios(args: argparse.Namespace):
+def _expand_cli_scenarios(
+    args: argparse.Namespace,
+) -> "tuple[dict[str, list], list[ScenarioSpec]]":
     """Validate and expand the sweep-shaped CLI inputs shared by ``sweep``,
     ``plan``, and ``cache export``: ``--dataset/--seed/--trees/--systems``
     plus repeatable ``--axis`` specs.  Returns ``(axes, scenarios)``;
@@ -766,7 +806,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             f"{manifest}; running the remaining {len(scenarios) - len(resumed)}"
         )
 
-    def axis_cells(scenario) -> list[str]:
+    def axis_cells(scenario: "ScenarioSpec") -> list[str]:
         cells = []
         for name in axis_names:
             try:
@@ -775,7 +815,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
                 cells.append("?")  # e.g. records of an unknown dataset
         return cells
 
-    def to_row(result) -> list[str]:
+    def to_row(result: "SweepResult") -> list[str]:
         return axis_cells(result.scenario) + _metric_cells(result) + [
             _provenance(result),
             str(result.worker_pid),
@@ -814,7 +854,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
         mode=mode,
     )
 
-    def emit(index, result) -> None:
+    def emit(index: int | None, result: "SweepResult") -> None:
         """Record one completed result: table row, manifest line, progress."""
         nonlocal failures
         if index is not None:
@@ -1087,6 +1127,9 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     with open(out, "w") as fh:
         for key in order:
             fh.write(json.dumps(best[key]) + "\n")
+            # Flush per line, like the sweep writer: an interrupted merge
+            # leaves a prefix of durable lines, never a buffered torso.
+            fh.flush()
     errors = sum(not _line_is_success(best[key]) for key in order)
     print(
         f"merged {len(inputs)} manifest(s) -> {out}: {len(order)} scenarios "
@@ -1313,6 +1356,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """`repro lint`: machine-check the project invariants (RPR rules)."""
+    from .devtools.lint import lint_main
+
+    return lint_main(args.paths, fmt=args.format, select=args.select)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.validate import report, validate_all
 
@@ -1336,6 +1386,7 @@ _COMMANDS = {
     "steal-status": _cmd_steal_status,
     "bench": _cmd_bench,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
 }
 
 

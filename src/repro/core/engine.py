@@ -26,6 +26,7 @@ import numpy as np
 
 from ..baselines.base import HardwareModel, StepTimes, host_step2_seconds
 from ..datasets.layout import RecordLayout
+from ..datasets.schema import DatasetSpec
 from ..gbdt.workprofile import InferenceWork, WorkProfile
 from ..memory.dram import DRAMSimulator
 from ..memory.profile import BandwidthProfile
@@ -271,7 +272,7 @@ def _admit_records(
 
 def simulate_step1_micro(
     n_records: int,
-    spec,
+    spec: DatasetSpec,
     config: BoosterConfig | None = None,
     costs: CostModel | None = None,
     mapping_strategy: str = "field",

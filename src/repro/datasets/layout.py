@@ -71,7 +71,9 @@ def field_element_bytes(n_total_bins: int) -> int:
     return 4
 
 
-def expected_touched_blocks(n_selected, n_universe: int, elems_per_block: int):
+def expected_touched_blocks(
+    n_selected: float | np.ndarray, n_universe: int, elems_per_block: int
+) -> float | np.ndarray:
     """Expected number of blocks touched by a scattered subset read.
 
     When only ``n_selected`` of ``n_universe`` records are relevant (records
@@ -134,7 +136,9 @@ class RecordLayout:
         blocks = -(-n_records // self.records_per_block) * self.blocks_per_record
         return float(blocks * self.config.block_bytes)
 
-    def row_bytes_gather(self, n_selected, n_universe: int):
+    def row_bytes_gather(
+        self, n_selected: float | np.ndarray, n_universe: int
+    ) -> float | np.ndarray:
         """Bytes to fetch a scattered subset of row-major records.
 
         Each record is one or more *contiguous* blocks ("each record is one or
@@ -167,7 +171,12 @@ class RecordLayout:
         blocks = -(-(n_records * elem) // block)
         return float((blocks * block).sum())
 
-    def column_bytes_gather(self, field_index, n_selected, n_universe: int):
+    def column_bytes_gather(
+        self,
+        field_index: int | np.ndarray,
+        n_selected: float | np.ndarray,
+        n_universe: int,
+    ) -> float | np.ndarray:
         """Bytes to gather one field's column for a scattered record subset.
 
         The paper notes the single-field columns "would likely be more
@@ -200,14 +209,16 @@ class RecordLayout:
         blocks = -(-(n_records * self.config.stat_bytes) // block)
         return float(blocks * block)
 
-    def stats_bytes_gather(self, n_selected, n_universe: int):
+    def stats_bytes_gather(
+        self, n_selected: float | np.ndarray, n_universe: int
+    ) -> float | np.ndarray:
         """Bytes to gather g/h for a scattered record subset."""
         epb = self.config.block_bytes // self.config.stat_bytes
         blocks = expected_touched_blocks(n_selected, n_universe, epb)
         out = np.asarray(blocks) * self.config.block_bytes
         return out if out.ndim else float(out)
 
-    def pointer_bytes(self, n_records):
+    def pointer_bytes(self, n_records: float | np.ndarray) -> float | np.ndarray:
         """Bytes of a dense pointer stream (step 3 outputs, step 1 inputs)."""
         n = np.asarray(n_records, dtype=np.float64)
         block = self.config.block_bytes

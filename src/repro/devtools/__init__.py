@@ -1,0 +1,22 @@
+"""Development tooling: the project-specific invariant linter.
+
+The orchestration stack survives on hand-maintained invariants (atomic
+writes into live store directories, cross-process-stable content hashing,
+bit-identical vectorized/reference pairs, fork-safe worker state) and each
+of them has already caused a real runtime bug.  :mod:`repro.devtools.lint`
+makes them machine-checked: an AST walker with project-specific ``RPR``
+rules, run as ``repro lint`` and in CI.  See ``docs/development.md`` for
+the rule catalogue and suppression policy.
+"""
+
+from .lint import LintReport, Violation, lint_main, run_lint
+from .rules import ALL_RULES, VECTORIZED_PAIRS
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "VECTORIZED_PAIRS",
+    "Violation",
+    "lint_main",
+    "run_lint",
+]

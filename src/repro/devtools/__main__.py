@@ -1,0 +1,14 @@
+"""``python -m repro.devtools`` -- the lint CLI without the repro entry point.
+
+A separate ``__main__`` (rather than ``python -m repro.devtools.lint``)
+avoids runpy's double-import warning: the package ``__init__`` already
+imports :mod:`.lint`, so executing the submodule as a script would load it
+twice.
+"""
+
+import sys
+
+from .lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,322 @@
+"""Framework for the ``repro lint`` invariant checker.
+
+Pure-stdlib AST analysis: every rule is a class in
+:mod:`repro.devtools.rules` with a stable ``RPRxxx`` code and a docstring
+explaining the invariant it guards.  This module owns everything that is
+*not* a rule: file discovery, parsing, the inline-suppression protocol,
+rule selection, and the text/JSON report formats.
+
+Suppression protocol
+--------------------
+
+A violation may be silenced with an inline comment on the flagged line::
+
+    tmp.write_bytes(payload)  # repro: noqa RPR001 -- exclusive publish via hard link
+
+The comment must name the code(s) it suppresses *and* carry a ``--
+reason``: an unexplained suppression is itself reported (``RPR000``), so
+every exception to an invariant is documented where it lives.  There is no
+file-wide or bare ``noqa`` form on purpose -- blanket waivers are how
+hand-maintained invariants rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, TextIO
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "Violation",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_main",
+    "run_lint",
+]
+
+#: ``# repro: noqa RPR001[,RPR002] [-- reason]`` -- the only suppression form.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?P<codes>[\sA-Z0-9,]*?)(?:--\s*(?P<reason>\S.*))?$"
+)
+
+_CODE_RE = re.compile(r"\bRPR\d{3}\b")
+
+#: Directories never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: a stable code, a location, and a one-line message."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa`` comment."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str | None
+
+
+@dataclass
+class FileContext:
+    """One parsed Python file, as rules see it.
+
+    ``rel`` is the path as given on the command line (what reports print);
+    rules scope themselves by matching its POSIX form, so fixture tests can
+    place a file anywhere and still exercise a path-scoped rule.
+    """
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    @property
+    def posix(self) -> str:
+        return Path(self.rel).as_posix()
+
+    def in_src(self) -> bool:
+        """Whether this file is part of the ``repro`` package source."""
+        return "src/repro/" in self.posix or self.posix.startswith("repro/")
+
+    def is_test(self) -> bool:
+        name = Path(self.posix).name
+        return name.startswith("test_") or name == "conftest.py"
+
+    def module_is(self, suffix: str) -> bool:
+        """Whether this file is the source module ending in ``suffix``."""
+        return self.posix.endswith(suffix)
+
+
+def _parse_suppressions(source: str, path: str) -> tuple[dict[int, Suppression], list[Violation]]:
+    """Extract ``# repro: noqa`` comments; malformed ones become RPR000."""
+    out: dict[int, Suppression] = {}
+    bad: list[Violation] = []
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        comments = [(t.start[0], t.string) for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = [
+            (i, line[line.index("#"):])
+            for i, line in enumerate(source.splitlines(), 1)
+            if "#" in line
+        ]
+    for lineno, comment in comments:
+        m = _NOQA_RE.search(comment)
+        if m is None:
+            continue
+        codes = frozenset(_CODE_RE.findall(m.group("codes") or ""))
+        reason = (m.group("reason") or "").strip() or None
+        out[lineno] = Suppression(line=lineno, codes=codes, reason=reason)
+        if not codes or reason is None:
+            bad.append(
+                Violation(
+                    code="RPR000",
+                    path=path,
+                    line=lineno,
+                    message=(
+                        "suppression must name the code(s) it silences and "
+                        "carry a '-- reason' (see docs/development.md): "
+                        "'# repro: noqa RPRxxx -- why this site is safe'"
+                    ),
+                )
+            )
+    return out, bad
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths`` (files given directly pass through)."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            candidates: Iterable[Path] = [p]
+        elif p.is_dir():
+            candidates = sorted(
+                f
+                for f in p.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in f.parts)
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {p}")
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+def load_context(path: Path, rel: str | None = None) -> tuple[FileContext | None, list[Violation]]:
+    """Parse one file into a :class:`FileContext` (``None`` on syntax error)."""
+    rel = rel if rel is not None else str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, [Violation("RPR900", rel, 1, f"unreadable file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=rel)
+    except SyntaxError as exc:
+        return None, [
+            Violation("RPR901", rel, exc.lineno or 1, f"syntax error: {exc.msg}")
+        ]
+    suppressions, bad = _parse_suppressions(source, rel)
+    ctx = FileContext(path=path, rel=rel, source=source, tree=tree, suppressions=suppressions)
+    return ctx, bad
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: list[Violation]
+    n_files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _select_codes(select: str | None) -> frozenset[str] | None:
+    if select is None:
+        return None
+    codes = frozenset(c.strip().upper() for c in select.split(",") if c.strip())
+    if not codes:
+        return None
+    return codes
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: str | None = None,
+    rules: Sequence[object] | None = None,
+) -> LintReport:
+    """Lint ``paths`` and return the surviving violations, sorted.
+
+    ``select`` limits the run to a comma-separated list of codes
+    (``RPR000`` meta-violations are always reported).  Suppressions are
+    applied last: a violation whose line carries a well-formed ``# repro:
+    noqa`` naming its code is dropped.
+    """
+    from .rules import ALL_RULES
+
+    active = list(rules if rules is not None else ALL_RULES)
+    wanted = _select_codes(select)
+    if wanted is not None:
+        active = [r for r in active if r.code in wanted]
+
+    contexts: list[FileContext] = []
+    violations: list[Violation] = []
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        ctx, problems = load_context(path)
+        violations.extend(problems)
+        if ctx is not None:
+            contexts.append(ctx)
+
+    for rule in active:
+        if hasattr(rule, "check_project"):
+            violations.extend(rule.check_project(contexts))
+        else:
+            for ctx in contexts:
+                violations.extend(rule.check(ctx))
+
+    kept = []
+    for v in violations:
+        if v.code in ("RPR000", "RPR900", "RPR901"):
+            kept.append(v)
+            continue
+        ctx = next((c for c in contexts if c.rel == v.path), None)
+        sup = ctx.suppressions.get(v.line) if ctx is not None else None
+        if sup is not None and sup.reason is not None and v.code in sup.codes:
+            continue
+        kept.append(v)
+    kept.sort(key=lambda v: (v.path, v.line, v.code))
+    return LintReport(violations=kept, n_files=n_files)
+
+
+def format_text(report: LintReport) -> str:
+    lines = [v.render() for v in report.violations]
+    summary = (
+        f"{len(report.violations)} violation(s) in {report.n_files} file(s)"
+        if report.violations
+        else f"clean: {report.n_files} file(s), 0 violations"
+    )
+    return "\n".join(lines + [summary])
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "violations": [v.to_dict() for v in report.violations],
+            "n_files": report.n_files,
+            "ok": report.ok,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def lint_main(
+    paths: Sequence[str] | None,
+    fmt: str = "text",
+    select: str | None = None,
+    out: "TextIO | None" = None,
+) -> int:
+    """Run the linter as the CLI does; returns the process exit code.
+
+    Default paths are ``src`` and ``tests`` when they exist under the
+    current directory (the repo layout), else the current directory.
+    """
+    out = out if out is not None else sys.stdout
+    if not paths:
+        paths = [p for p in ("src", "tests") if Path(p).exists()] or ["."]
+    try:
+        report = run_lint(paths, select=select)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(format_json(report) if fmt == "json" else format_text(report), file=out)
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description="Project invariant linter (RPR rules)."
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories (default: src tests)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", default=None, help="comma-separated rule codes")
+    args = parser.parse_args(argv)
+    return lint_main(args.paths, fmt=args.format, select=args.select)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the repro CLI
+    sys.exit(main())

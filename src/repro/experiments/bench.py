@@ -162,7 +162,14 @@ def _capture_widest_level(trainer: LevelWiseTrainer) -> dict:
     captured: dict = {}
     orig = trainer._partition_level_reference
 
-    def hook(live, splits, vertex_of_record, g, h, depth):
+    def hook(
+        live: dict,
+        splits: dict,
+        vertex_of_record: np.ndarray,
+        g: np.ndarray,
+        h: np.ndarray,
+        depth: int,
+    ) -> tuple:
         key = (len(splits), depth + 1 < trainer.params.max_depth)
         if key > (captured.get("k", -1), captured.get("bins_children", False)):
             captured.update(

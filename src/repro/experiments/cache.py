@@ -28,7 +28,8 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any
+from types import EllipsisType, ModuleType
+from typing import Any, Iterable
 
 __all__ = [
     "CACHE_VERSION",
@@ -81,7 +82,7 @@ def validate_flat_name(name: str, what: str = "archive member") -> None:
         )
 
 
-def atomic_write_bytes(path, data: bytes) -> None:
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
     """Write ``data`` to ``path`` atomically (temp file + rename).
 
     The single write protocol shared by every store mutation that must be
@@ -104,7 +105,7 @@ def atomic_write_bytes(path, data: bytes) -> None:
         raise
 
 
-def sweep_stale_tmp(root, max_age: float | None = None) -> int:
+def sweep_stale_tmp(root: str | Path, max_age: float | None = None) -> int:
     """Remove abandoned ``*.tmp`` files under ``root``; returns the count.
 
     Only temp files at least ``max_age`` seconds old (default
@@ -131,7 +132,7 @@ def sweep_stale_tmp(root, max_age: float | None = None) -> int:
     return removed
 
 
-def _hash_packages(*packages) -> str:
+def _hash_packages(*packages: ModuleType) -> str:
     import hashlib
 
     h = hashlib.sha256()
@@ -198,7 +199,9 @@ class KeyedStore:
     #: Filename suffix for this store's entries (also what ``clear`` globs).
     suffix = ".bin"
 
-    def __init__(self, root=..., memory: bool = True):
+    def __init__(
+        self, root: str | Path | None | EllipsisType = ..., memory: bool = True
+    ) -> None:
         if root is ...:
             root = default_cache_dir()
         self.root: Path | None = Path(root) if root is not None else None
@@ -298,7 +301,7 @@ class ProfileCache(KeyedStore):
         return pickle.loads(raw)
 
 
-def _json_default(obj):
+def _json_default(obj: Any) -> Any:
     # NumPy scalars leak into profile summaries; store their Python values.
     if hasattr(obj, "item"):
         return obj.item()
@@ -322,7 +325,9 @@ class ResultStore(KeyedStore):
         return json.loads(raw)
 
 
-def export_entries(root, tar_path, keys=None) -> list[str]:
+def export_entries(
+    root: str | Path, tar_path: str | Path, keys: Iterable[str] | None = None
+) -> list[str]:
     """Tar up cache-directory entries so a warm host can seed cold shards.
 
     ``keys=None`` exports every store entry under ``root``; otherwise only
@@ -350,7 +355,7 @@ def export_entries(root, tar_path, keys=None) -> list[str]:
     return members
 
 
-def import_entries(root, tar_path) -> list[str]:
+def import_entries(root: str | Path, tar_path: str | Path) -> list[str]:
     """Unpack :func:`export_entries` archives into a cache directory.
 
     Only regular members whose name looks like a store entry are

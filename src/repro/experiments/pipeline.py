@@ -30,7 +30,7 @@ __all__ = [
     "train_scenario_tracked",
 ]
 
-_DATASET_MEMO: dict[tuple[str, int, int], BinnedDataset] = {}
+_DATASET_MEMO: dict[tuple[str, int, int], BinnedDataset] = {}  # repro: noqa RPR005 -- content-keyed deterministic memo: a forked copy regenerates identical datasets, so sharing or not sharing is indistinguishable
 #: Benchmarks at the default sim scale are all small; one suite touches at
 #: most the five registry datasets plus a handful of swept variants, so a
 #: small LRU bounds memory on long records/seed sweeps.

@@ -30,9 +30,12 @@ import itertools
 import math
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, fields as dc_fields, replace
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # annotation-only: keep the lease machinery a lazy import
+    from .steal import Coordinator
 
 from ..sim.calibrate import CostModel
 from ..sim.results import ComparisonResult, InferenceResult
@@ -130,7 +133,7 @@ AXIS_NAMES = {
 CANONICAL_AXES = tuple(k for k in AXIS_NAMES if k not in _AXIS_ALIASES)
 
 
-def apply_axis(scenario: ScenarioSpec, name: str, value) -> ScenarioSpec:
+def apply_axis(scenario: ScenarioSpec, name: str, value: object) -> ScenarioSpec:
     """Return ``scenario`` with one axis set to ``value``."""
     if name != "dataset" and isinstance(value, str):
         # Every axis but the dataset name is numeric; reject early with a
@@ -176,7 +179,7 @@ def apply_axis(scenario: ScenarioSpec, name: str, value) -> ScenarioSpec:
     raise ValueError(f"unknown sweep axis {name!r}; known axes: {known}")
 
 
-def read_axis(scenario: ScenarioSpec, name: str):
+def read_axis(scenario: ScenarioSpec, name: str) -> object:
     """The scenario's current value for one axis (``apply_axis``'s inverse).
 
     ``records``/``sim_records`` reads back resolved (the registry default
@@ -223,7 +226,7 @@ def expand_axes(
     return out
 
 
-def _parse_value(text: str):
+def _parse_value(text: str) -> int | float | str:
     for cast in (int, float):
         try:
             return cast(text)
@@ -543,8 +546,8 @@ def run_scenario(
 #: Worker-process store instances, one per root: pool workers execute many
 #: scenarios, and reusing the memory layers avoids re-unpickling a shared
 #: training artifact (or re-reading a result file) once per sibling.
-_WORKER_CACHES: dict[str | None, ProfileCache] = {}
-_WORKER_RESULT_STORES: dict[str | None, ResultStore] = {}
+_WORKER_CACHES: dict[str | None, ProfileCache] = {}  # repro: noqa RPR005 -- per-worker-process memo, only populated inside pool workers after fork; parent never writes it
+_WORKER_RESULT_STORES: dict[str | None, ResultStore] = {}  # repro: noqa RPR005 -- per-worker-process memo, only populated inside pool workers after fork; parent never writes it
 
 
 def _run_payload(payload: tuple[dict, str | None, str | None, str]) -> SweepResult:
@@ -637,7 +640,9 @@ class SweepRunner:
         root = str(self.cache.root)
         results_root = str(self.results.root) if self.results.root is not None else None
 
-        def submit(pool, scenario):
+        def submit(
+            pool: ProcessPoolExecutor, scenario: ScenarioSpec
+        ) -> "Future":
             return pool.submit(
                 _run_payload, (scenario.to_dict(), root, results_root, self.mode)
             )
@@ -705,7 +710,7 @@ class SweepRunner:
     def run_stealing(
         self,
         scenarios: Sequence[ScenarioSpec],
-        coordinator,
+        coordinator: "Coordinator",
         completed: Iterable[str] = (),
         poll_interval: float | None = None,
     ) -> Iterator[SweepResult]:

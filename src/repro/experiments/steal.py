@@ -51,6 +51,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import Iterable
 
 from .cache import atomic_write_bytes, validate_flat_name
 
@@ -178,7 +179,7 @@ class Coordinator:
 
     def __init__(
         self,
-        root,
+        root: str | Path,
         ttl: float = DEFAULT_LEASE_TTL,
         host: str | None = None,
         pid: int | None = None,
@@ -402,7 +403,7 @@ class Coordinator:
 
     # -- sweep descriptor ------------------------------------------------------
 
-    def ensure_sweep(self, keys, mode: str = "compare") -> dict:
+    def ensure_sweep(self, keys: Iterable[str], mode: str = "compare") -> dict:
         """Publish -- or validate against -- the directory's sweep descriptor.
 
         The first worker to arrive writes ``sweep.json`` (atomically and
@@ -427,8 +428,15 @@ class Coordinator:
         path = self.root / SWEEP_FILE
         existing = self._read_sweep(path)
         if existing is None:
-            tmp = self.root / f".sweep-{self.host}-{self.pid}.tmp"
-            tmp.write_bytes(json.dumps(mine, sort_keys=True).encode())
+            # The temp name embeds this worker's identity; a pathological
+            # hostname must not be able to place it outside the directory.
+            stem = f".sweep-{self.host}-{self.pid}.tmp"
+            validate_flat_name(stem, what="sweep descriptor temp file")
+            tmp = self.root / stem
+            # Raw write, not atomic_write_bytes: publication is the os.link
+            # below (exclusive, full-content), and the link needs a stable
+            # source path this worker alone owns.
+            tmp.write_bytes(json.dumps(mine, sort_keys=True).encode())  # repro: noqa RPR001 -- private temp file; the atomic publish is the exclusive os.link below
             try:
                 os.link(tmp, path)
             except FileExistsError:
@@ -482,7 +490,9 @@ class _LeaseRenewer:
     valid measurement, and the duplicate line is merge-deduped.
     """
 
-    def __init__(self, coordinator: Coordinator, key: str, interval: float | None = None):
+    def __init__(
+        self, coordinator: Coordinator, key: str, interval: float | None = None
+    ) -> None:
         self.coordinator = coordinator
         self.key = key
         if interval is None:
@@ -499,7 +509,7 @@ class _LeaseRenewer:
         self._thread.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._stop.set()
         if self._thread is not None:
             self._thread.join()
@@ -511,11 +521,11 @@ class _LeaseRenewer:
             except LeaseLost:
                 self.lost = True
                 return
-            except Exception:
-                pass  # transient I/O: next tick retries; the TTL is the backstop
+            except Exception:  # repro: noqa RPR006 -- transient I/O: next tick retries, and the lease TTL is the bounded backstop
+                pass
 
 
-def steal_status(root, ttl: float = DEFAULT_LEASE_TTL) -> dict | None:
+def steal_status(root: str | Path, ttl: float = DEFAULT_LEASE_TTL) -> dict | None:
     """Inspect a coordination directory without claiming anything.
 
     Returns ``None`` when ``root`` is not a directory; otherwise a dict:

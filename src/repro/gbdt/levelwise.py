@@ -164,12 +164,14 @@ class LevelWiseTrainer:
 
     # -- one tree ------------------------------------------------------------------
 
-    def _grow_tree(self, g: np.ndarray, h: np.ndarray):
+    def _grow_tree(self, g: np.ndarray, h: np.ndarray) -> "tuple[Tree, TreeWork, list[float], np.ndarray | None]":
         if self.vectorized:
             return self._grow_tree_vectorized(g, h)
         return self._grow_tree_reference(g, h)
 
-    def _grow_tree_vectorized(self, g: np.ndarray, h: np.ndarray):
+    def _grow_tree_vectorized(
+        self, g: np.ndarray, h: np.ndarray
+    ) -> "tuple[Tree, TreeWork, list[float], np.ndarray | None]":
         """Whole-level matrix pass: the live level is three ``(L, n_bins)``
         histogram matrices plus per-vertex total arrays.
 
@@ -344,7 +346,7 @@ class LevelWiseTrainer:
         g: np.ndarray,
         h: np.ndarray,
         depth: int,
-    ):
+    ) -> tuple:
         """Steps 3 + 1 for a whole level, no per-vertex passes.
 
         Partitions the records of ALL splitting vertices in one array pass
@@ -467,7 +469,9 @@ class LevelWiseTrainer:
             has_hist,
         )
 
-    def _grow_tree_reference(self, g: np.ndarray, h: np.ndarray):
+    def _grow_tree_reference(
+        self, g: np.ndarray, h: np.ndarray
+    ) -> "tuple[Tree, TreeWork, list[float], np.ndarray | None]":
         """Scalar reference: per-vertex dict state, per-vertex step 2."""
         data = self.data
         params = self.params
@@ -598,7 +602,7 @@ class LevelWiseTrainer:
         g: np.ndarray,
         h: np.ndarray,
         depth: int,
-    ):
+    ) -> "tuple[dict[int, _LevelNode], dict[int, tuple[int, bool]], np.ndarray, list[float]]":
         """Scalar reference: per-vertex record scans and per-vertex builds.
 
         One ``np.nonzero`` scan and (for the smaller child) one ``build``

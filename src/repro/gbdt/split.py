@@ -367,7 +367,13 @@ class SplitSearcher:
         band_args: list[np.ndarray] = []
         band_maxes: list[np.ndarray] = []
 
-        def add_band(gl, hl, cl, candidate, variant):
+        def add_band(
+            gl: np.ndarray,
+            hl: np.ndarray,
+            cl: np.ndarray,
+            candidate: np.ndarray,
+            variant: int,
+        ) -> None:
             band = self._gain(gl, hl, cl, gt, ht, ct, candidate=candidate)
             arg = np.argmax(band, axis=1)
             band_args.append(arg)

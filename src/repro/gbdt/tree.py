@@ -183,7 +183,9 @@ class Tree:
             left = codes_col <= thr
         return np.where(missing, miss_left, left)
 
-    def predict(self, codes: np.ndarray, return_depth: bool = False):
+    def predict(
+        self, codes: np.ndarray, return_depth: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Traverse all records; returns weights (and per-record path length).
 
         Vectorized level-by-level descent: every record holds a current node

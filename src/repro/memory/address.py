@@ -32,7 +32,9 @@ class AddressMapping:
     def __init__(self, config: DRAMConfig) -> None:
         self.config = config
 
-    def decode(self, block_addr):
+    def decode(
+        self, block_addr: int | np.ndarray
+    ) -> "DecodedAddress | tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         """Decode block addresses (scalar or array) to channel/bank/row/col."""
         cfg = self.config
         a = np.asarray(block_addr, dtype=np.int64)
@@ -48,7 +50,13 @@ class AddressMapping:
             return DecodedAddress(int(channel), int(bank), int(row), int(column))
         return channel, bank, row, column
 
-    def encode(self, channel, bank, row, column):
+    def encode(
+        self,
+        channel: int | np.ndarray,
+        bank: int | np.ndarray,
+        row: int | np.ndarray,
+        column: int | np.ndarray,
+    ) -> int | np.ndarray:
         """Inverse of :meth:`decode` (scalar or arrays)."""
         cfg = self.config
         ch = np.asarray(channel, dtype=np.int64)
@@ -70,7 +78,7 @@ class AddressMapping:
             return int(out)
         return out
 
-    def byte_to_block(self, byte_addr):
+    def byte_to_block(self, byte_addr: int | np.ndarray) -> int | np.ndarray:
         """Byte address -> block address."""
         a = np.asarray(byte_addr, dtype=np.int64)
         out = a // self.config.block_bytes

@@ -26,7 +26,7 @@ _DENSITY_LADDER = (0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
 #: negligible (<1%), short enough to simulate in well under a second.
 _CAL_BLOCKS = 24_000
 
-_CACHE: dict[tuple, "BandwidthProfile"] = {}
+_CACHE: dict[tuple, "BandwidthProfile"] = {}  # repro: noqa RPR005 -- content-keyed deterministic memo of pure simulation outputs; fork copies recompute identical profiles
 
 
 @dataclass
@@ -43,7 +43,7 @@ class BandwidthProfile:
     def sequential_gbps(self) -> float:
         return self.sequential_bpc * self.config.clock_ghz
 
-    def gather_bpc_at(self, density) -> np.ndarray:
+    def gather_bpc_at(self, density: float | np.ndarray) -> float | np.ndarray:
         """Interpolated gather bandwidth at arbitrary densities.
 
         Below the measured ladder the curve is clamped (sparse gathers bottom

@@ -27,7 +27,7 @@ __all__ = [
 _LAZY = {"Executor", "quick_compare", "PAPER_TREES", "DEFAULT_SIM_TREES"}
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _LAZY:
         from . import executor as _executor
 

@@ -21,6 +21,7 @@ the two worlds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..baselines import (
     HardwareModel,
@@ -252,6 +253,6 @@ class Executor:
         return BENCHMARK_NAMES
 
 
-def quick_compare(dataset: str = "higgs", **kwargs) -> ComparisonResult:
+def quick_compare(dataset: str = "higgs", **kwargs: Any) -> ComparisonResult:
     """One-call demo used by the README quickstart."""
     return Executor(**kwargs).compare(dataset)

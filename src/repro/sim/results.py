@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # import would be circular at runtime (baselines uses sim)
     from ..baselines.base import StepTimes
@@ -18,7 +18,7 @@ if TYPE_CHECKING:  # import would be circular at runtime (baselines uses sim)
 __all__ = ["geomean", "ComparisonResult", "InferenceResult"]
 
 
-def geomean(values) -> float:
+def geomean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's aggregate for Fig. 7/12/13)."""
     vals = [float(v) for v in values]
     if not vals:

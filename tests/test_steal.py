@@ -506,6 +506,25 @@ class TestStealStatus:
         status = steal_status(tmp_path / "coord", ttl=9999.0)
         assert status["counts"]["stale"] == 1
 
+    def test_sweep_descriptor_only_directory_renders_empty_ledger(
+        self, capsys, tmp_path
+    ):
+        """Regression: a directory holding only ``sweep.json`` -- a sweep
+        announced but nothing claimed yet -- must render as an empty ledger
+        (exit 0), not trip over the zero-row table."""
+        from repro.cli import main
+
+        coordinator = Coordinator(tmp_path / "coord", ttl=60.0)
+        coordinator.ensure_sweep(["sk1", "sk2"], "compare")
+        assert [p.name for p in (tmp_path / "coord").iterdir()] == ["sweep.json"]
+        status = steal_status(tmp_path / "coord")
+        assert status["counts"] == {"done": 0, "failed": 0, "running": 0, "stale": 0}
+        assert status["unclaimed"] == 2
+        assert main(["steal-status", str(tmp_path / "coord")]) == 0
+        out = capsys.readouterr().out
+        assert "0 done, 0 failed, 0 running, 0 stale" in out
+        assert "2 unclaimed of 2 scenario(s)" in out
+
 
 class TestStoreHelpers:
     """The path-validation/atomic-write helpers shared with the lease code."""
@@ -543,6 +562,52 @@ class TestStoreHelpers:
         os.utime(old, (ancient, ancient))
         assert sweep_stale_tmp(tmp_path) == 1
         assert fresh.exists() and not old.exists()
+
+    def test_validate_flat_name_accepts_unicode_and_long_stems(self):
+        from repro.experiments.cache import validate_flat_name
+
+        # Unicode hostnames reach lease stems via f"{host}-{pid}"; a flat
+        # non-ASCII basename is legitimate and must pass the gate.
+        for ok in ("wörker-42.lease", "机-7.tmp", "café.json", "a" * 255):
+            validate_flat_name(ok)
+
+    def test_validate_flat_name_rejects_separators_anywhere(self):
+        from repro.experiments.cache import validate_flat_name
+
+        for evil in ("wö/rker.lease", "a" * 200 + "/x", "../up.json"):
+            with pytest.raises(ValueError, match="refusing"):
+                validate_flat_name(evil)
+
+    def test_sweep_stale_tmp_age_boundary(self, tmp_path):
+        """A ``.tmp`` newer than the age gate survives; at/past it, reclaimed."""
+        from repro.experiments.cache import sweep_stale_tmp
+
+        just_under = tmp_path / "under.tmp"
+        just_under.write_bytes(b"x")
+        young = time.time() - 1.0
+        os.utime(just_under, (young, young))
+        assert sweep_stale_tmp(tmp_path, max_age=30.0) == 0
+        assert just_under.exists()
+        assert sweep_stale_tmp(tmp_path, max_age=0.5) == 1
+        assert not just_under.exists()
+
+    def test_sweep_stale_tmp_missing_and_non_dir_roots(self, tmp_path):
+        from repro.experiments.cache import sweep_stale_tmp
+
+        assert sweep_stale_tmp(tmp_path / "nope") == 0
+        plain = tmp_path / "file"
+        plain.write_bytes(b"")
+        assert sweep_stale_tmp(plain) == 0
+
+    def test_sweep_stale_tmp_ignores_non_tmp_entries(self, tmp_path):
+        from repro.experiments.cache import sweep_stale_tmp
+
+        keep = tmp_path / "entry.json"
+        keep.write_bytes(b"{}")
+        ancient = time.time() - 3600.0
+        os.utime(keep, (ancient, ancient))
+        assert sweep_stale_tmp(tmp_path) == 0
+        assert keep.exists()
 
 
 class TestStealCLI:

@@ -18,6 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets import generate
+from repro.datasets.layout import RecordLayout
 from repro.gbdt import TrainParams, train_level_wise
 from repro.gbdt import split as split_mod
 from repro.gbdt.histogram import HistogramBuilder
@@ -312,3 +313,100 @@ class TestTrainerGrid:
         assert vec.profile.smaller_child_fraction_mean == pytest.approx(
             ref.profile.smaller_child_fraction_mean
         )
+
+
+class TestGrowTreeEquivalence:
+    """``_grow_tree`` twins: ``_grow_tree_vectorized`` == ``_grow_tree_reference``
+    called directly on identical gradient inputs (not just via whole fits)."""
+
+    def test_single_tree_identity(self, data):
+        params = TrainParams(n_trees=1, max_depth=5)
+        g, h = _random_stats(data.n_records, 17)
+        vec_tree, vec_work, vec_fracs, vec_counts = LevelWiseTrainer(
+            data, params, vectorized=True
+        )._grow_tree_vectorized(g, h)
+        ref_tree, ref_work, ref_fracs, ref_counts = LevelWiseTrainer(
+            data, params, vectorized=False
+        )._grow_tree_reference(g, h)
+        assert np.array_equal(vec_tree.field, ref_tree.field)
+        assert np.array_equal(vec_tree.threshold_bin, ref_tree.threshold_bin)
+        assert np.array_equal(vec_tree.left, ref_tree.left)
+        assert np.array_equal(vec_tree.right, ref_tree.right)
+        assert np.array_equal(vec_tree.weight, ref_tree.weight)
+        assert np.array_equal(vec_work.depth, ref_work.depth)
+        assert np.array_equal(vec_work.n_reach, ref_work.n_reach)
+        assert np.array_equal(vec_work.n_binned, ref_work.n_binned)
+        assert np.array_equal(vec_work.split_evaluated, ref_work.split_evaluated)
+        assert np.array_equal(vec_work.is_split, ref_work.is_split)
+        assert np.array_equal(vec_work.split_field, ref_work.split_field)
+        assert np.array_equal(vec_work.relevant_fields, ref_work.relevant_fields)
+        assert vec_fracs == ref_fracs
+        assert np.array_equal(vec_counts, ref_counts)
+
+    def test_dispatcher_selects_twin(self, data):
+        """``_grow_tree`` routes by the ``vectorized`` flag; both routes agree."""
+        params = TrainParams(n_trees=1, max_depth=4)
+        g, h = _random_stats(data.n_records, 23)
+        vec_tree, _, _, _ = LevelWiseTrainer(data, params, vectorized=True)._grow_tree(g, h)
+        ref_tree, _, _, _ = LevelWiseTrainer(data, params, vectorized=False)._grow_tree(g, h)
+        assert np.array_equal(vec_tree.weight, ref_tree.weight)
+        assert np.array_equal(vec_tree.field, ref_tree.field)
+
+
+class TestWorkProfileAggregation:
+    """Stacked whole-run reductions == their per-tree reference loops.
+
+    Integer-valued totals must match exactly; the byte reductions sum the
+    same float terms in a different association order, so they match to
+    relative 1e-12.
+    """
+
+    @pytest.fixture(scope="class")
+    def profile(self):
+        data = generate(small_spec_factory(n_records=500, seed=9))
+        return train_level_wise(data, TrainParams(n_trees=3, max_depth=4)).profile
+
+    @pytest.fixture(scope="class")
+    def layout(self, profile):
+        return RecordLayout(profile.spec)
+
+    def test_binned_records(self, profile):
+        assert profile.binned_records() == profile.binned_records_reference()
+
+    def test_step1_bytes(self, profile, layout):
+        assert profile.step1_bytes(layout) == pytest.approx(
+            profile.step1_bytes_reference(layout), rel=1e-12
+        )
+
+    def test_step2_evaluations(self, profile):
+        assert profile.step2_evaluations() == profile.step2_evaluations_reference()
+
+    def test_partition_records(self, profile):
+        assert profile.partition_records() == profile.partition_records_reference()
+
+    @pytest.mark.parametrize("column_format", [True, False])
+    def test_step3_bytes(self, profile, layout, column_format):
+        assert profile.step3_bytes(layout, column_format) == pytest.approx(
+            profile.step3_bytes_reference(layout, column_format), rel=1e-12
+        )
+
+    def test_traversal_hops(self, profile):
+        assert profile.traversal_hops() == pytest.approx(
+            profile.traversal_hops_reference(), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("column_format", [True, False])
+    def test_step5_bytes(self, profile, layout, column_format):
+        assert profile.step5_bytes(layout, column_format) == pytest.approx(
+            profile.step5_bytes_reference(layout, column_format), rel=1e-12
+        )
+
+    def test_empty_profile_reductions_agree(self, profile, layout):
+        from repro.gbdt.workprofile import WorkProfile
+
+        empty = WorkProfile(spec=profile.spec, trees=[])
+        assert empty.binned_records() == empty.binned_records_reference() == 0.0
+        assert empty.step1_bytes(layout) == empty.step1_bytes_reference(layout) == 0.0
+        assert empty.traversal_hops() == empty.traversal_hops_reference() == 0.0
+        assert empty.step2_evaluations() == empty.step2_evaluations_reference() == 0
+        assert empty.partition_records() == empty.partition_records_reference() == 0.0
