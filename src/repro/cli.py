@@ -389,15 +389,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json is what CI archives)",
+        help="report format (json is what CI archives; sarif feeds code scanning)",
     )
     p_lint.add_argument(
         "--select",
         default=None,
         metavar="RULES",
         help="comma-separated rule codes to run (e.g. RPR001,RPR004)",
+    )
+    p_lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="whole-program pass: call-graph nondeterminism taint, worker "
+        "effects, and lease-protocol checking (RPR101-106)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="ratchet file: fail only on findings absent from FILE (shrink-only)",
+    )
+    p_lint.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="FILE",
+        help="write current findings to FILE and exit 0 (the act of accepting debt)",
+    )
+    p_lint.add_argument(
+        "--graph-out",
+        default=None,
+        metavar="FILE",
+        help="serialize the --deep call graph to FILE as JSON (implies --deep)",
     )
     return parser
 
@@ -1360,7 +1384,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     """`repro lint`: machine-check the project invariants (RPR rules)."""
     from .devtools.lint import lint_main
 
-    return lint_main(args.paths, fmt=args.format, select=args.select)
+    return lint_main(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        deep=args.deep,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+        graph_out=args.graph_out,
+    )
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:

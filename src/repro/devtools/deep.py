@@ -1,0 +1,74 @@
+"""Orchestration for the whole-program (``--deep``) lint pass.
+
+Builds the :class:`~repro.devtools.graph.ProjectIndex` and
+:class:`~repro.devtools.graph.CallGraph` once over the ``src/repro``
+contexts in the lint set, then runs the three interprocedural checkers:
+
+* :func:`repro.devtools.taint.check_taint` -- RPR101-103;
+* :func:`repro.devtools.effects.check_effects` -- RPR104-105;
+* :func:`repro.devtools.leasecheck.check_lease_protocol` -- RPR106.
+
+The deep pass supersedes the line-local RPR002/RPR003 heuristics (see
+:func:`repro.devtools.lint.run_lint`): a whole-program taint walk strictly
+dominates "nondeterminism lexically near identity code".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .effects import check_effects
+from .graph import CallGraph, ProjectIndex
+from .leasecheck import check_lease_protocol
+from .lint import FileContext, Violation
+from .taint import check_taint
+
+__all__ = ["DEEP_RULE_DOCS", "SUPERSEDED_BY_DEEP", "run_deep"]
+
+#: Shallow rules the interprocedural pass strictly subsumes.
+SUPERSEDED_BY_DEEP = frozenset({"RPR002", "RPR003"})
+
+#: One-line invariant statements, used by the SARIF rule table and docs.
+DEEP_RULE_DOCS: dict[str, str] = {
+    "RPR101": (
+        "No wall clock, process-global/unseeded RNG, process/host identity, "
+        "or environment read anywhere a persisted-identity sink (cache_key, "
+        "fingerprints, lease stems, shard owners) can reach."
+    ),
+    "RPR102": (
+        "No builtin hash()/id() reachable from a persisted-identity sink: "
+        "both are PYTHONHASHSEED/address-unstable across hosts and runs."
+    ),
+    "RPR103": (
+        "No iteration over a set reachable from a persisted-identity sink: "
+        "set order is hash-dependent, so it leaks PYTHONHASHSEED into keys."
+    ),
+    "RPR104": (
+        "No mutation of module-level state in code reachable from sweep/steal "
+        "worker entry points; pool workers fork/re-import, so such state "
+        "silently diverges per process."
+    ),
+    "RPR105": (
+        "No raw filesystem write in worker-reachable code: every worker-side "
+        "write goes through atomic_write_bytes/KeyedStore.put so concurrent "
+        "readers never observe a partial file."
+    ),
+    "RPR106": (
+        "Every successful lease claim() guarantees mark_done()/release() on "
+        "all normal, early-exit, and exception paths of the held-lease region."
+    ),
+}
+
+
+def run_deep(
+    contexts: Iterable[FileContext], include_heuristic: bool = True
+) -> tuple[list[Violation], CallGraph]:
+    """Run all interprocedural checkers; returns (violations, call graph)."""
+    src = [c for c in contexts if c.in_src() and not c.is_test()]
+    index = ProjectIndex.build(src)
+    graph = CallGraph.build(index)
+    violations: list[Violation] = []
+    violations.extend(check_taint(index, graph, include_heuristic=include_heuristic))
+    violations.extend(check_effects(index, graph, include_heuristic=include_heuristic))
+    violations.extend(check_lease_protocol(index))
+    return violations, graph

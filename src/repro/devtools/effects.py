@@ -1,0 +1,293 @@
+"""Worker-effect analysis (RPR104-105) for ``repro lint --deep``.
+
+Sweep workers run in forked/spawned pool processes (``_run_payload``) or
+interleave with lease-stealing peers (``SweepRunner.run_stealing`` /
+``_guarded``).  Two effect classes are hazards anywhere in the code those
+entry points can reach:
+
+* ``RPR104`` -- mutation of module-level state: ``global`` rebinding, or
+  in-place mutation (subscript store, mutator method, ``del``) of a name
+  bound at module level.  Under ``fork`` such state is silently copied per
+  process; under ``spawn`` it silently resets -- either way the mutation
+  does not mean what it looks like it means.  Deliberate per-process memos
+  are fine, but each carries an inline suppression saying so.  A container
+  whose *definition line* already carries a reasoned ``RPR005``
+  suppression is a declared per-process memo: its mutation sites are not
+  re-flagged (one documented claim per exception, where the state lives).
+* ``RPR105`` -- raw filesystem writes (``open(.., "w")``,
+  ``write_text``/``write_bytes``, ``os.rename``/``os.replace``,
+  ``shutil.copy*``/``move``): every worker-side write must go through
+  ``atomic_write_bytes`` / ``KeyedStore.put`` so a concurrent reader never
+  observes a partial file.  :mod:`repro.experiments.cache` is exempt -- it
+  *implements* the blessed protocol.
+
+Unlike the shallow RPR001/RPR005 (which pattern-match single files), these
+run over the call-graph closure of the worker entry points, so a hazard
+three helpers deep is still attributed -- the message carries the witness
+chain from the entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .graph import CallGraph, FunctionInfo, ProjectIndex
+from .lint import Violation
+
+__all__ = ["DEFAULT_ENTRYPOINTS", "check_effects", "worker_entrypoints"]
+
+#: Qualname patterns (regex, matched with ``search``) of the functions that
+#: execute inside a sweep worker or the stealing loop.
+DEFAULT_ENTRYPOINTS: tuple[str, ...] = (
+    r":_run_payload$",
+    r":SweepRunner\._guarded$",
+    r":SweepRunner\.run_stealing$",
+)
+
+#: Modules whose writes ARE the atomic protocol (exempt from RPR105).
+_WRITE_PROTOCOL_MODULES = frozenset({"repro.experiments.cache"})
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+    }
+)
+
+_WRITE_MODE = re.compile(r"[wax]")
+
+_RAW_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+_RAW_WRITE_DOTTED = frozenset(
+    {
+        "os.rename",
+        "os.replace",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.copy2",
+        "shutil.move",
+    }
+)
+
+
+def worker_entrypoints(
+    graph: CallGraph, patterns: tuple[str, ...] = DEFAULT_ENTRYPOINTS
+) -> list[str]:
+    """Qualnames in ``graph`` matching the worker entry-point patterns."""
+    compiled = [re.compile(p) for p in patterns]
+    return sorted(
+        q for q in graph.functions if any(c.search(q) for c in compiled)
+    )
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:
+        return ""
+
+
+def _bound_names(target: ast.AST) -> set[str]:
+    """Names *bound* by an assignment target.
+
+    Only plain names and tuple/list destructuring bind: ``d[k] = v`` and
+    ``obj.attr = v`` mutate an existing object, so their bases must NOT be
+    treated as locals (that would shadow exactly the mutations RPR104
+    watches for).
+    """
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in target.elts:
+            out |= _bound_names(element)
+        return out
+    if isinstance(target, ast.Starred):
+        return _bound_names(target.value)
+    return set()
+
+
+def _local_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names that are function-local: parameters and plain assignments."""
+    names = {a.arg for a in node.args.args}
+    names.update(a.arg for a in node.args.posonlyargs)
+    names.update(a.arg for a in node.args.kwonlyargs)
+    if node.args.vararg is not None:
+        names.add(node.args.vararg.arg)
+    if node.args.kwarg is not None:
+        names.add(node.args.kwarg.arg)
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names |= _bound_names(target)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names |= _bound_names(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            names |= _bound_names(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    names |= _bound_names(item.optional_vars)
+    return names
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(q.split(":", 1)[1] for q in chain)
+
+
+def _check_function(
+    info: FunctionInfo,
+    module_vars: set[str],
+    chain: tuple[str, ...],
+    write_exempt: bool,
+) -> list[Violation]:
+    node = info.node
+    assert node is not None
+    chain_note = f" (worker-reachable via {_chain_text(chain)})"
+    declared_global: set[str] = set()
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Global):
+            declared_global.update(stmt.names)
+    shadowed = _local_names(node) - declared_global
+    watched = (module_vars | declared_global) - shadowed
+
+    out: list[Violation] = []
+
+    def hit(code: str, line: int, message: str) -> None:
+        out.append(
+            Violation(code=code, path=info.path, line=line, message=message + chain_note,
+                      symbol=info.qualname)
+        )
+
+    for stmt in ast.walk(node):
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    hit(
+                        "RPR104",
+                        stmt.lineno,
+                        f"rebinds module-level {target.id!r} from worker code; "
+                        "pool workers fork/re-import the module, so the new "
+                        "binding is per-process and silently diverges",
+                    )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in watched
+                ):
+                    hit(
+                        "RPR104",
+                        stmt.lineno,
+                        f"mutates module-level container {target.value.id!r} from "
+                        "worker code; per-process memos need an inline suppression "
+                        "stating why they are fork-safe",
+                    )
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in watched
+                ):
+                    hit(
+                        "RPR104",
+                        stmt.lineno,
+                        f"deletes from module-level container {target.value.id!r} "
+                        "from worker code",
+                    )
+        elif isinstance(stmt, ast.Call):
+            func = stmt.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in watched
+            ):
+                hit(
+                    "RPR104",
+                    stmt.lineno,
+                    f"mutates module-level container {func.value.id!r} via "
+                    f".{func.attr}() from worker code; per-process memos need an "
+                    "inline suppression stating why they are fork-safe",
+                )
+            if not write_exempt:
+                raw = _raw_write(stmt)
+                if raw is not None:
+                    hit(
+                        "RPR105",
+                        stmt.lineno,
+                        f"raw filesystem write {raw} in worker-reachable code; "
+                        "every write a sweep/steal worker can make must go "
+                        "through atomic_write_bytes or KeyedStore.put",
+                    )
+    return out
+
+
+def _raw_write(call: ast.Call) -> str | None:
+    """Describe ``call`` if it is a raw (non-atomic) filesystem write."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _RAW_WRITE_ATTRS:
+        return f".{func.attr}(...)"
+    text = _unparse(func)
+    if text in _RAW_WRITE_DOTTED:
+        return f"{text}(...)"
+    if isinstance(func, ast.Name) and func.id == "open" and len(call.args) >= 2:
+        mode = call.args[1]
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            if _WRITE_MODE.search(mode.value):
+                return f"open(.., {mode.value!r})"
+    for kw in call.keywords:
+        if (
+            kw.arg == "mode"
+            and isinstance(func, ast.Name)
+            and func.id == "open"
+            and isinstance(kw.value, ast.Constant)
+            and isinstance(kw.value.value, str)
+            and _WRITE_MODE.search(kw.value.value)
+        ):
+            return f"open(.., mode={kw.value.value!r})"
+    return None
+
+
+def check_effects(
+    index: ProjectIndex,
+    graph: CallGraph,
+    entrypoints: list[str] | None = None,
+    include_heuristic: bool = True,
+) -> list[Violation]:
+    """RPR104/105 over the closure of the worker entry points."""
+    entries = entrypoints if entrypoints is not None else worker_entrypoints(graph)
+    closure = graph.reachable(entries, include_heuristic=include_heuristic)
+    violations: list[Violation] = []
+    for qualname, chain in sorted(closure.items()):
+        info = graph.functions[qualname]
+        if info.node is None:
+            continue
+        module = index.modules.get(info.module)
+        module_vars: set[str] = set()
+        if module is not None:
+            for name, line in module.module_vars.items():
+                sup = module.ctx.suppressions.get(line)
+                if sup is not None and sup.reason is not None and "RPR005" in sup.codes:
+                    continue  # declared per-process memo; documented at the definition
+                module_vars.add(name)
+        violations.extend(
+            _check_function(
+                info,
+                module_vars,
+                chain,
+                write_exempt=info.module in _WRITE_PROTOCOL_MODULES,
+            )
+        )
+    violations.sort(key=lambda v: (v.path, v.line, v.code, v.message))
+    return violations

@@ -1,0 +1,646 @@
+"""Project indexer and call graph for the whole-program (``--deep``) lint pass.
+
+The per-file rules in :mod:`repro.devtools.rules` go blind the moment an
+invariant crosses a function boundary: ``cache_key()`` calling a helper
+that calls ``time.time()`` is invisible to a same-function heuristic.
+This module supplies the missing whole-program view, still pure stdlib:
+
+* :class:`ProjectIndex` -- a module/symbol table over every ``src/repro``
+  file in the lint set: top-level functions, classes with their methods
+  and bases, import aliases (``from x import y as z``), and module-level
+  name aliases (``_scenario_key = scenario_key``);
+* :class:`CallGraph` -- call edges between fully-qualified functions
+  (``repro.experiments.steal:Coordinator.claim``), built by resolving
+  direct calls, imported names, ``self.``/``cls.`` methods, constructor
+  calls (edges to ``__init__`` *and* ``__post_init__``), and attribute
+  calls typed through one level of local inference (parameter annotations
+  and ``x = ClassName(...)`` assignments).
+
+Resolution is deliberately best-effort: a call that cannot be resolved
+degrades to an ``unknown`` edge recording the call text -- never a crash
+-- and a last-resort ``heuristic`` edge is added when a method name has
+exactly one project-wide definition (common receiver-blind dispatch).
+Consumers (:mod:`.taint`, :mod:`.effects`, :mod:`.leasecheck`) choose
+whether heuristic edges participate.  The graph serializes to JSON
+(``repro lint --graph-out``) and round-trips via :meth:`CallGraph.from_dict`
+-- minus the live AST nodes, which only the in-process checkers need.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .lint import FileContext
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "module_name_for",
+]
+
+GRAPH_VERSION = 1
+
+#: Attribute names too generic for the unique-name heuristic fallback:
+#: resolving ``x.get(...)`` to *the* project function named ``get`` would
+#: fabricate edges through every dict in the tree.
+_HEURISTIC_BLACKLIST = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "decode",
+        "encode",
+        "extend",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "load",
+        "open",
+        "pop",
+        "put",
+        "read",
+        "remove",
+        "run",
+        "setdefault",
+        "sort",
+        "split",
+        "strip",
+        "update",
+        "values",
+        "wait",
+        "write",
+    }
+)
+
+
+def module_name_for(posix: str) -> str | None:
+    """Dotted module name for a source path, or ``None`` when not package code.
+
+    ``src/repro/experiments/steal.py`` maps to ``repro.experiments.steal``;
+    an ``__init__.py`` maps to its package.  Works on any path whose POSIX
+    form contains a ``src/`` segment (fixture trees included) or starts
+    with ``repro/``.
+    """
+    parts = posix.split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif parts and parts[0] == "repro":
+        pass
+    else:
+        return None
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by fully-qualified name."""
+
+    qualname: str  # "repro.experiments.steal:Coordinator.claim"
+    module: str  # "repro.experiments.steal"
+    name: str  # "Coordinator.claim" (module-local dotted name)
+    path: str  # source path as linted (what reports print)
+    lineno: int
+    class_name: str | None = None  # owning class, methods only
+    returns: str | None = None  # return-annotation text, if any
+    node: ast.FunctionDef | ast.AsyncFunctionDef | None = None  # live AST
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "name": self.name,
+            "path": self.path,
+            "lineno": self.lineno,
+            "class_name": self.class_name,
+            "returns": self.returns,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, object]) -> "FunctionInfo":
+        return cls(
+            qualname=str(d["qualname"]),
+            module=str(d["module"]),
+            name=str(d["name"]),
+            path=str(d["path"]),
+            lineno=int(d["lineno"]),  # type: ignore[call-overload]
+            class_name=None if d.get("class_name") is None else str(d["class_name"]),
+            returns=None if d.get("returns") is None else str(d["returns"]),
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods (by bare name) and base-class name texts."""
+
+    name: str
+    module: str
+    lineno: int
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call site: caller/callee qualnames plus resolution provenance.
+
+    ``kind`` is ``direct`` (name/import/alias resolution), ``method``
+    (``self``/``cls``/typed-receiver dispatch), ``heuristic`` (unique
+    project-wide method-name match), or ``unknown`` -- in which case
+    ``callee`` is ``"?<call text>"`` rather than a qualname.
+    """
+
+    caller: str
+    callee: str
+    line: int
+    kind: str = "direct"
+
+    @property
+    def resolved(self) -> bool:
+        return self.kind != "unknown"
+
+
+def _unparse(node: ast.AST | None) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:
+        return ""
+
+
+def _annotation_class(text: str | None) -> str | None:
+    """Extract a plausible class name from an annotation text.
+
+    Handles quoted forward references, ``X | None`` unions, and
+    ``Optional[X]``; anything more structured (generics over project
+    classes, unions of two classes) resolves to ``None`` -- the analysis
+    simply loses that receiver, it never guesses.
+    """
+    if not text:
+        return None
+    text = text.strip().strip("'\"")
+    for prefix in ("Optional[", "typing.Optional["):
+        if text.startswith(prefix) and text.endswith("]"):
+            text = text[len(prefix) : -1].strip().strip("'\"")
+    if "|" in text:
+        parts = [p.strip().strip("'\"") for p in text.split("|")]
+        parts = [p for p in parts if p not in ("None", "")]
+        if len(parts) != 1:
+            return None
+        text = parts[0]
+    if not text.replace(".", "").isidentifier():
+        return None
+    return text
+
+
+class ModuleInfo:
+    """Symbol table for one module: defs, classes, imports, aliases."""
+
+    def __init__(self, name: str, ctx: FileContext) -> None:
+        self.name = name
+        self.ctx = ctx
+        #: whether this module is a package ``__init__`` (relative imports
+        #: anchor at the package itself rather than its parent)
+        self.is_package = ctx.posix.endswith("__init__.py")
+        #: top-level functions by bare name
+        self.functions: dict[str, FunctionInfo] = {}
+        #: classes by bare name
+        self.classes: dict[str, ClassInfo] = {}
+        #: local name -> "dotted.module" or "dotted.module:object"
+        self.imports: dict[str, str] = {}
+        #: module-level ``a = b`` name aliases (``_scenario_key = scenario_key``)
+        self.aliases: dict[str, str] = {}
+        #: names bound by module-level assignments, with the defining line
+        #: (the state the effects checker watches for worker-side mutation)
+        self.module_vars: dict[str, int] = {}
+
+    def _index(self) -> None:
+        for node in self.ctx.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = FunctionInfo(
+                    qualname=f"{self.name}:{node.name}",
+                    module=self.name,
+                    name=node.name,
+                    path=self.ctx.rel,
+                    lineno=node.lineno,
+                    returns=_unparse(node.returns) or None,
+                    node=node,
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_vars.setdefault(target.id, node.lineno)
+                if len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name) and isinstance(node.value, ast.Name):
+                        self.aliases[target.id] = node.value.id
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self.module_vars.setdefault(node.target.id, node.lineno)
+        # Function bodies may import too (lazy imports are idiomatic here:
+        # they break cycles and keep worker startup lean); those names are
+        # function-local at runtime but safe to resolve module-wide, since
+        # the tree has no same-name conflicts between lazy and top imports.
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(node)
+
+    def _index_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.imports.setdefault(local, target)
+            return
+        base = node.module or ""
+        if node.level:
+            # Relative import: climb from this module's package.  A plain
+            # module's package is itself minus the leaf; a package
+            # ``__init__`` IS its package, so it climbs one level less.
+            pkg_parts = self.name.split(".")
+            climb = node.level - (1 if self.is_package else 0)
+            anchor = pkg_parts[: len(pkg_parts) - climb]
+            base = ".".join(anchor + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            target = f"{base}:{alias.name}" if base else alias.name
+            self.imports.setdefault(local, target)
+
+    def _index_class(self, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            name=node.name,
+            module=self.name,
+            lineno=node.lineno,
+            bases=tuple(_unparse(b) for b in node.bases),
+        )
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = FunctionInfo(
+                    qualname=f"{self.name}:{node.name}.{item.name}",
+                    module=self.name,
+                    name=f"{node.name}.{item.name}",
+                    path=self.ctx.rel,
+                    lineno=item.lineno,
+                    class_name=node.name,
+                    returns=_unparse(item.returns) or None,
+                    node=item,
+                )
+        self.classes[node.name] = info
+
+
+class ProjectIndex:
+    """All indexed modules, with cross-module symbol resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._bare_name_index: dict[str, tuple[FunctionInfo, ...]] | None = None
+
+    def by_bare_name(self) -> dict[str, tuple[FunctionInfo, ...]]:
+        """All defs grouped by bare name (for the unique-name heuristic)."""
+        if self._bare_name_index is None:
+            grouped: dict[str, list[FunctionInfo]] = {}
+            for info in self.functions():
+                grouped.setdefault(info.name.split(".")[-1], []).append(info)
+            self._bare_name_index = {k: tuple(v) for k, v in grouped.items()}
+        return self._bare_name_index
+
+    @classmethod
+    def build(cls, contexts: Iterable[FileContext]) -> "ProjectIndex":
+        index = cls()
+        for ctx in contexts:
+            name = module_name_for(ctx.posix)
+            if name is None:
+                continue
+            module = ModuleInfo(name, ctx)
+            module._index()
+            index.modules[name] = module
+        return index
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        for module in self.modules.values():
+            yield from module.functions.values()
+            for klass in module.classes.values():
+                yield from klass.methods.values()
+
+    # -- symbol resolution -----------------------------------------------------
+
+    def resolve_class(self, module: str, name: str) -> ClassInfo | None:
+        """Resolve a (possibly imported or dotted) class name seen in ``module``."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        name = name.strip().strip("'\"")
+        if name in mod.classes:
+            return mod.classes[name]
+        if name in mod.imports:
+            target = mod.imports[name]
+            if ":" in target:
+                target_mod, obj = target.split(":", 1)
+                inner = self.modules.get(target_mod)
+                if inner is not None and obj in inner.classes:
+                    return inner.classes[obj]
+        if "." in name:
+            head, _, attr = name.rpartition(".")
+            target_mod_name = self._imported_module(module, head)
+            if target_mod_name is not None:
+                inner = self.modules.get(target_mod_name)
+                if inner is not None and attr in inner.classes:
+                    return inner.classes[attr]
+        return None
+
+    def resolve_method(
+        self, klass: ClassInfo, method: str, depth: int = 0
+    ) -> FunctionInfo | None:
+        """Look ``method`` up on ``klass``, walking resolvable bases (bounded)."""
+        if method in klass.methods:
+            return klass.methods[method]
+        if depth >= 4:
+            return None
+        for base in klass.bases:
+            base_info = self.resolve_class(klass.module, base)
+            if base_info is not None:
+                found = self.resolve_method(base_info, method, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _imported_module(self, module: str, local: str) -> str | None:
+        """The dotted module a local name refers to, if it names a module."""
+        mod = self.modules.get(module)
+        if mod is None or local not in mod.imports:
+            return None
+        target = mod.imports[local]
+        if ":" in target:
+            # ``from repro.experiments import cache`` indexes as
+            # "repro.experiments:cache" -- which is the module
+            # "repro.experiments.cache" if that exists.
+            dotted = target.replace(":", ".")
+            return dotted if dotted in self.modules else None
+        return target if target in self.modules else None
+
+    def resolve_name(
+        self, module: str, name: str, _depth: int = 0
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve a bare or dotted name seen in ``module`` to a def or class."""
+        mod = self.modules.get(module)
+        if mod is None or _depth > 4:
+            return None
+        if name in mod.functions:
+            return mod.functions[name]
+        if name in mod.classes:
+            return mod.classes[name]
+        if name in mod.aliases:
+            return self.resolve_name(module, mod.aliases[name], _depth + 1)
+        if name in mod.imports:
+            target = mod.imports[name]
+            if ":" in target:
+                target_mod, obj = target.split(":", 1)
+                dotted = f"{target_mod}.{obj}"
+                if dotted in self.modules:
+                    return None  # a module, not a callable
+                if target_mod in self.modules:
+                    return self.resolve_name(target_mod, obj, _depth + 1)
+            return None
+        if "." in name:
+            head, _, attr = name.rpartition(".")
+            target_mod_name = self._imported_module(module, head)
+            if target_mod_name is not None:
+                return self.resolve_name(target_mod_name, attr, _depth + 1)
+        return None
+
+
+class _FunctionResolver:
+    """Per-function call resolution with one level of local type inference."""
+
+    def __init__(self, index: ProjectIndex, info: FunctionInfo) -> None:
+        self.index = index
+        self.info = info
+        self.types: dict[str, ClassInfo] = {}
+        node = info.node
+        assert node is not None
+        if info.class_name is not None:
+            owner = index.resolve_class(info.module, info.class_name)
+            if owner is not None:
+                self.types["self"] = owner
+                self.types["cls"] = owner
+        for arg in list(node.args.args) + list(node.args.kwonlyargs) + list(
+            node.args.posonlyargs
+        ):
+            klass = self._class_from_annotation(_unparse(arg.annotation))
+            if klass is not None:
+                self.types.setdefault(arg.arg, klass)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    klass = self._type_of_expr(stmt.value)
+                    if klass is not None:
+                        self.types[target.id] = klass
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                klass = self._class_from_annotation(_unparse(stmt.annotation))
+                if klass is not None:
+                    self.types[stmt.target.id] = klass
+
+    def _class_from_annotation(self, text: str | None) -> ClassInfo | None:
+        name = _annotation_class(text)
+        if name is None:
+            return None
+        return self.index.resolve_class(self.info.module, name)
+
+    def _type_of_expr(self, expr: ast.AST) -> ClassInfo | None:
+        """Type of ``ClassName(...)`` / ``factory(...)`` result expressions."""
+        if not isinstance(expr, ast.Call):
+            return None
+        resolved = self._resolve_callable(expr.func)
+        if isinstance(resolved, ClassInfo):
+            return resolved
+        if isinstance(resolved, FunctionInfo):
+            return self._class_from_annotation(resolved.returns)
+        return None
+
+    def _resolve_callable(
+        self, func: ast.AST
+    ) -> FunctionInfo | ClassInfo | None:
+        """Resolve a call's ``func`` expression to a project def or class."""
+        index, module = self.index, self.info.module
+        if isinstance(func, ast.Name):
+            return index.resolve_name(module, func.id)
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            value = func.value
+            if isinstance(value, ast.Name):
+                receiver = self.types.get(value.id)
+                if receiver is not None:
+                    return index.resolve_method(receiver, attr)
+                klass = index.resolve_class(module, value.id)
+                if klass is not None:  # ClassName.method / classmethod call
+                    return index.resolve_method(klass, attr)
+                target_mod = index._imported_module(module, value.id)
+                if target_mod is not None:
+                    return index.resolve_name(target_mod, attr)
+                return None
+            if isinstance(value, ast.Attribute):
+                # Dotted module attribute: pkg.mod.func
+                return index.resolve_name(module, _unparse(func))
+            if isinstance(value, ast.Call):
+                receiver = self._type_of_expr(value)
+                if receiver is not None:
+                    return index.resolve_method(receiver, attr)
+            return None
+        return None
+
+    def edges(self) -> Iterator[CallEdge]:
+        node = self.info.node
+        assert node is not None
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            resolved = self._resolve_callable(inner.func)
+            line = inner.lineno
+            if isinstance(resolved, FunctionInfo):
+                kind = "method" if resolved.class_name is not None else "direct"
+                yield CallEdge(self.info.qualname, resolved.qualname, line, kind)
+                continue
+            if isinstance(resolved, ClassInfo):
+                # Constructor: control flows through __init__ and (dataclass
+                # validation) __post_init__ when defined.
+                emitted = False
+                for hook in ("__init__", "__post_init__"):
+                    method = self.index.resolve_method(resolved, hook)
+                    if method is not None:
+                        emitted = True
+                        yield CallEdge(self.info.qualname, method.qualname, line, "method")
+                if not emitted:
+                    yield CallEdge(
+                        self.info.qualname, f"?{_unparse(inner.func)}", line, "unknown"
+                    )
+                continue
+            # Heuristic fallback: a method call on an untyped receiver whose
+            # name has exactly one project-wide definition.
+            if isinstance(inner.func, ast.Attribute):
+                attr = inner.func.attr
+                if attr not in _HEURISTIC_BLACKLIST and len(attr) > 3:
+                    matches = self._unique_named(attr)
+                    if matches is not None:
+                        yield CallEdge(
+                            self.info.qualname, matches.qualname, line, "heuristic"
+                        )
+                        continue
+            yield CallEdge(
+                self.info.qualname, f"?{_unparse(inner.func)}", line, "unknown"
+            )
+
+    def _unique_named(self, name: str) -> FunctionInfo | None:
+        matches = self.index.by_bare_name().get(name, ())
+        return matches[0] if len(matches) == 1 else None
+
+
+class CallGraph:
+    """Functions plus resolved call edges; the deep checkers' substrate."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.edges: list[CallEdge] = []
+        self._out: dict[str, list[CallEdge]] = {}
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "CallGraph":
+        graph = cls()
+        for info in index.functions():
+            graph.functions[info.qualname] = info
+        for info in list(graph.functions.values()):
+            if info.node is None:
+                continue
+            for edge in _FunctionResolver(index, info).edges():
+                graph.edges.append(edge)
+                graph._out.setdefault(edge.caller, []).append(edge)
+        return graph
+
+    def callees(self, qualname: str) -> list[CallEdge]:
+        return self._out.get(qualname, [])
+
+    def reachable(
+        self,
+        starts: Sequence[str],
+        include_heuristic: bool = True,
+    ) -> dict[str, tuple[str, ...]]:
+        """Functions reachable from ``starts`` via resolved call edges.
+
+        Returns ``{qualname: witness}`` where ``witness`` is the call chain
+        (qualnames, starting at one of ``starts``) along which the function
+        was first reached -- BFS, so the chain is a shortest path and makes
+        a readable diagnostic.
+        """
+        seen: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for start in starts:
+            if start in self.functions and start not in seen:
+                seen[start] = (start,)
+                queue.append(start)
+        while queue:
+            current = queue.pop(0)
+            for edge in self.callees(current):
+                if not edge.resolved:
+                    continue
+                if edge.kind == "heuristic" and not include_heuristic:
+                    continue
+                if edge.callee in seen or edge.callee not in self.functions:
+                    continue
+                seen[edge.callee] = seen[current] + (edge.callee,)
+                queue.append(edge.callee)
+        return seen
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": GRAPH_VERSION,
+            "n_functions": len(self.functions),
+            "n_edges": len(self.edges),
+            "functions": [
+                info.to_dict() for _, info in sorted(self.functions.items())
+            ],
+            "edges": [
+                [e.caller, e.callee, e.line, e.kind]
+                for e in sorted(
+                    self.edges, key=lambda e: (e.caller, e.line, e.callee)
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, object]) -> "CallGraph":
+        if d.get("version") != GRAPH_VERSION:
+            raise ValueError(f"unsupported call-graph version: {d.get('version')!r}")
+        graph = cls()
+        for raw in d.get("functions", []):  # type: ignore[union-attr]
+            info = FunctionInfo.from_dict(raw)
+            graph.functions[info.qualname] = info
+        for caller, callee, line, kind in d.get("edges", []):  # type: ignore[misc, union-attr]
+            edge = CallEdge(str(caller), str(callee), int(line), str(kind))
+            graph.edges.append(edge)
+            graph._out.setdefault(edge.caller, []).append(edge)
+        return graph

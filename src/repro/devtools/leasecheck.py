@@ -1,0 +1,331 @@
+"""Lease-protocol path checking (RPR106) for ``repro lint --deep``.
+
+A work-stealing sweep loses a scenario forever only one way: a worker
+claims its lease and then exits -- normally or exceptionally -- without
+``mark_done`` or ``release``.  Peers then wait out the full TTL before
+stealing, and a crash *after* TTL-expiry semantics change silently turns
+"delayed" into "lost".  This checker verifies, per ``claim`` call site,
+that the **success region** (the code that runs while the lease is held)
+guarantees a ``mark_done``/``release`` call on every normal path, every
+early exit, and every exception path.
+
+Recognized claim shapes::
+
+    if coordinator.claim(key):          # region = the if-body
+        ...
+    if not coordinator.claim(key):      # region = rest of the enclosing
+        continue  # (or return/break)   #          block after the if
+    ...
+
+Anything else (claim as a bare expression, assigned to a variable, inside
+a compound condition) is flagged as an unrecognized shape: the result must
+be checked with ``if`` so the held-lease region is statically evident.
+
+The region analysis is a conservative walk of the statement structure:
+
+* a statement containing ``mark_done``/``release`` completes the region;
+* ``try``/``finally`` whose ``finally`` completes on all its paths
+  protects everything inside (including ``return`` and ``yield``);
+* a catch-all ``except`` that completes (then falls through or re-raises)
+  protects the try body's exception paths;
+* "risky" statements (project calls, ``with``, ``yield``, ``raise``)
+  outside such protection, and ``return``/``break``/``continue`` before
+  completion, are reported -- each with the line and reason.
+
+Methods of classes that *define* ``claim`` (the protocol implementation
+itself) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .graph import ProjectIndex
+from .lint import Violation
+
+__all__ = ["check_lease_protocol"]
+
+_COMPLETIONS = frozenset({"mark_done", "release"})
+
+#: Builtin / stdlib-ish calls that cannot plausibly raise mid-protocol.
+_SAFE_CALLS = frozenset(
+    {
+        "abs", "all", "any", "bool", "dict", "enumerate", "float", "format",
+        "frozenset", "getattr", "hasattr", "int", "isinstance", "len", "list",
+        "max", "min", "print", "range", "repr", "set", "sorted", "str", "sum",
+        "tuple", "zip",
+    }
+)
+
+#: Attribute calls that only touch in-memory containers/strings.
+_SAFE_METHODS = frozenset(
+    {
+        "add", "append", "clear", "copy", "discard", "endswith", "extend",
+        "format", "get", "insert", "items", "join", "keys", "lower", "pop",
+        "popitem", "remove", "setdefault", "split", "startswith", "strip",
+        "update", "upper", "values",
+    }
+)
+
+
+def _contains_completion(node: ast.AST) -> bool:
+    for inner in ast.walk(node):
+        if (
+            isinstance(inner, ast.Call)
+            and isinstance(inner.func, ast.Attribute)
+            and inner.func.attr in _COMPLETIONS
+        ):
+            return True
+    return False
+
+
+def _is_risky(stmt: ast.stmt) -> bool:
+    """Whether a simple statement can raise or suspend mid-region."""
+    for inner in ast.walk(stmt):
+        if isinstance(inner, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+        if isinstance(inner, ast.Call):
+            func = inner.func
+            if isinstance(func, ast.Name) and func.id in _SAFE_CALLS:
+                continue
+            if isinstance(func, ast.Attribute) and func.attr in _SAFE_METHODS:
+                continue
+            if isinstance(func, ast.Attribute) and func.attr in _COMPLETIONS:
+                continue
+            return True
+    return False
+
+
+def _ends_in_raise(stmts: list[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(stmts[-1], ast.Raise)
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    try:
+        text = ast.unparse(handler.type)
+    except Exception:
+        return False
+    return text in ("Exception", "BaseException")
+
+
+@dataclass
+class _Walk:
+    """Mutable result of a region walk: completion state plus failures."""
+
+    failures: list[tuple[int, str]] = field(default_factory=list)
+
+    def fail(self, line: int, why: str) -> None:
+        self.failures.append((line, why))
+
+
+def _walk_region(
+    stmts: list[ast.stmt], walk: _Walk, protected: bool, loop_depth: int = 0
+) -> bool:
+    """Walk a statement sequence; returns True when every normal path
+    through it is guaranteed to have called ``mark_done``/``release``."""
+    done = False
+    for stmt in stmts:
+        if done:
+            break  # completion reached; the rest of the region is free
+        done = _walk_stmt(stmt, walk, protected, loop_depth)
+    return done
+
+
+def _walk_stmt(
+    stmt: ast.stmt, walk: _Walk, protected: bool, loop_depth: int
+) -> bool:
+    if isinstance(stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+        if _contains_completion(stmt):
+            return True
+        if not protected and _is_risky(stmt):
+            walk.fail(
+                stmt.lineno,
+                "may raise before mark_done/release with no protecting "
+                "finally/except in the claim region",
+            )
+        return False
+    if isinstance(stmt, ast.Return):
+        walk.fail(stmt.lineno, "returns out of the claim region before mark_done/release")
+        return False
+    if isinstance(stmt, (ast.Break, ast.Continue)):
+        if loop_depth == 0:
+            walk.fail(
+                stmt.lineno,
+                "leaves the claim region (break/continue) before mark_done/release",
+            )
+        return False
+    if isinstance(stmt, ast.Raise):
+        if not protected:
+            walk.fail(
+                stmt.lineno,
+                "raises out of the claim region with no protecting finally/except",
+            )
+        return False
+    if isinstance(stmt, ast.If):
+        body_done = _walk_region(stmt.body, walk, protected, loop_depth)
+        if stmt.orelse:
+            else_done = _walk_region(stmt.orelse, walk, protected, loop_depth)
+            return body_done and else_done
+        return False
+    if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+        _walk_region(stmt.body, walk, protected, loop_depth + 1)
+        if stmt.orelse:
+            _walk_region(stmt.orelse, walk, protected, loop_depth)
+        return False  # the loop may run zero times
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        if not protected:
+            walk.fail(
+                stmt.lineno,
+                "context manager in the claim region may raise with no "
+                "protecting finally/except",
+            )
+        return _walk_region(stmt.body, walk, protected, loop_depth)
+    if isinstance(stmt, ast.Try):
+        return _walk_try(stmt, walk, protected, loop_depth)
+    # Unknown statement kind (match, import, nested def, ...): assume it
+    # neither completes nor exits; flag it only when it can clearly raise.
+    if not protected and _is_risky(stmt):
+        walk.fail(stmt.lineno, "may raise before mark_done/release (unprotected)")
+    return False
+
+
+def _walk_try(stmt: ast.Try, walk: _Walk, protected: bool, loop_depth: int) -> bool:
+    if stmt.finalbody:
+        fin_done = _walk_region(stmt.finalbody, walk, protected=True, loop_depth=loop_depth)
+        if fin_done:
+            # The finally completes on every one of its own paths, and a
+            # finally runs on ALL exits of the try -- normal, exception,
+            # return, generator close.  Everything inside is protected and
+            # the try as a whole completes the region.
+            return True
+    handler_protects = False
+    handler_merges_done = True
+    for handler in stmt.handlers:
+        h_done = _walk_region(handler.body, walk, protected, loop_depth)
+        if _is_catch_all(handler) and (h_done or _contains_completion(handler)):
+            handler_protects = True
+        if not (h_done or _ends_in_raise(handler.body)):
+            handler_merges_done = False
+    body_done = _walk_region(stmt.body, walk, protected or handler_protects, loop_depth)
+    if stmt.orelse and body_done is False:
+        body_done = _walk_region(stmt.orelse, walk, protected, loop_depth)
+    return body_done and handler_merges_done
+
+
+@dataclass(frozen=True)
+class _ClaimSite:
+    call: ast.Call
+    region: tuple[ast.stmt, ...]
+    shape: str  # "if-claim" | "if-not-claim" | "unrecognized"
+
+
+def _claim_sites(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[_ClaimSite]:
+    """All ``.claim(...)`` call sites in ``node`` with their success regions."""
+    sites: list[_ClaimSite] = []
+    # Claim Call nodes already matched to a recognized shape; AST nodes
+    # hash by object identity, which is exactly the dedupe wanted here.
+    claimed: set[ast.AST] = set()
+
+    def is_claim(expr: ast.AST) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "claim"
+        )
+
+    def scan_block(stmts: list[ast.stmt]) -> None:
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.If):
+                test = stmt.test
+                if is_claim(test):
+                    assert isinstance(test, ast.Call)
+                    claimed.add(test)
+                    sites.append(_ClaimSite(test, tuple(stmt.body), "if-claim"))
+                elif (
+                    isinstance(test, ast.UnaryOp)
+                    and isinstance(test.op, ast.Not)
+                    and is_claim(test.operand)
+                    and stmt.body
+                    and isinstance(
+                        stmt.body[-1], (ast.Continue, ast.Return, ast.Break, ast.Raise)
+                    )
+                ):
+                    operand = test.operand
+                    assert isinstance(operand, ast.Call)
+                    claimed.add(operand)
+                    sites.append(_ClaimSite(operand, tuple(stmts[i + 1 :]), "if-not-claim"))
+            # Recurse into every nested statement block.
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner and isinstance(inner[0], ast.stmt):
+                    scan_block(inner)
+            for handler in getattr(stmt, "handlers", []) or []:
+                scan_block(handler.body)
+
+    scan_block(list(node.body))
+    for inner in ast.walk(node):
+        if is_claim(inner) and inner not in claimed:
+            assert isinstance(inner, ast.Call)
+            sites.append(_ClaimSite(inner, (), "unrecognized"))
+    return sites
+
+
+def check_lease_protocol(index: ProjectIndex) -> list[Violation]:
+    """RPR106 over every function that calls ``.claim(...)``."""
+    # Classes that define claim() ARE the protocol; their methods are exempt.
+    protocol_classes: set[tuple[str, str]] = set()
+    for module in index.modules.values():
+        for klass in module.classes.values():
+            if "claim" in klass.methods:
+                protocol_classes.add((module.name, klass.name))
+
+    violations: list[Violation] = []
+    for info in index.functions():
+        if info.node is None:
+            continue
+        if info.class_name is not None and (info.module, info.class_name) in protocol_classes:
+            continue
+        for site in _claim_sites(info.node):
+            if site.shape == "unrecognized":
+                violations.append(
+                    Violation(
+                        code="RPR106",
+                        path=info.path,
+                        line=site.call.lineno,
+                        message=(
+                            "unrecognized claim() usage: check the result with "
+                            "'if claim(...):' or 'if not claim(...): continue' so "
+                            "the held-lease region guarantees mark_done/release"
+                        ),
+                        symbol=info.qualname,
+                    )
+                )
+                continue
+            walk = _Walk()
+            done = _walk_region(list(site.region), walk, protected=False)
+            if walk.failures or not done:
+                if walk.failures:
+                    line, why = walk.failures[0]
+                    detail = f"{why} (line {line})"
+                    extra = len(walk.failures) - 1
+                    if extra:
+                        detail += f" and {extra} more path(s)"
+                else:
+                    detail = "the region can fall through without mark_done/release"
+                violations.append(
+                    Violation(
+                        code="RPR106",
+                        path=info.path,
+                        line=site.call.lineno,
+                        message=(
+                            f"successful claim() does not guarantee mark_done/"
+                            f"release on every exit: {detail}"
+                        ),
+                        symbol=info.qualname,
+                    )
+                )
+    violations.sort(key=lambda v: (v.path, v.line, v.message))
+    return violations

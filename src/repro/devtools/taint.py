@@ -1,0 +1,305 @@
+"""Interprocedural nondeterminism taint (RPR101-103) for ``repro lint --deep``.
+
+The shallow RPR002/RPR003 rules only see nondeterminism *inside* a
+key-construction function; one helper call away and they go blind.  This
+pass propagates nondeterminism **sources** over the call graph into
+**persisted-identity sinks** and reports every source that any sink can
+reach, with the witness call chain in the message.
+
+Sources
+-------
+* ``RPR101`` -- wall clocks (``time.time``/``monotonic``/``perf_counter``,
+  ``datetime.now``), process-global or unseeded RNG (``random.*``,
+  ``np.random.*`` bar an explicitly seeded ``default_rng(seed)``),
+  process/host identity (``os.getpid``, ``uuid.uuid1/4``,
+  ``socket.gethostname``, ``os.urandom``), and environment reads
+  (``os.environ[...]`` / ``os.environ.get``).
+* ``RPR102`` -- builtin ``hash()`` / ``id()`` (``PYTHONHASHSEED``- and
+  address-unstable).
+* ``RPR103`` -- iteration over a ``set`` (``for``-loops and comprehension
+  generators; hash-order-dependent).  ``sorted(set(...))`` does not flag:
+  only *iteration order* escaping into the result is a hazard.
+
+Sinks
+-----
+Functions whose results become persisted identity: bare name matching
+``key|fingerprint|digest``, any method of a ``*Spec`` class, plus the
+explicit extras in :data:`EXTRA_SINK_NAMES` (lease stems, shard owners,
+sweep publication).  The taint region for a sink is its full resolved-call
+closure, so a source is reported once per site with the shortest
+sink-to-site chain as evidence.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from .graph import CallGraph, FunctionInfo, ProjectIndex
+from .lint import Violation
+
+__all__ = ["EXTRA_SINK_NAMES", "check_taint", "find_sinks", "function_sources"]
+
+#: Bare function names that are identity sinks without matching the name
+#: regex: lease stems, shard partitioning, and sweep publication all feed
+#: persisted on-disk identity.
+EXTRA_SINK_NAMES = frozenset({"lease_name", "shard_of", "ensure_sweep"})
+
+_SINK_NAME = re.compile(r"key|fingerprint|digest")
+
+_CLOCKS = re.compile(
+    r"^time\.(time|time_ns|monotonic|monotonic_ns|perf_counter|perf_counter_ns"
+    r"|process_time|process_time_ns)$"
+    r"|^datetime\.(datetime\.)?(now|utcnow|today)$"
+)
+_IDENTITY = re.compile(
+    r"^os\.(getpid|getppid|urandom|uname)$|^uuid\.uuid[14]$|^socket\.gethostname$"
+    r"|^platform\.(node|uname)$"
+)
+#: ``random`` module calls that construct an independent generator (which
+#: is then seeded or not at *that* call -- handled separately) rather than
+#: touching the process-global stream.
+_RANDOM_CONSTRUCTORS = frozenset({"Random", "SystemRandom", "seed"})
+_NP_RANDOM = re.compile(r"^(np|numpy)\.random\.(?P<attr>\w+)$")
+
+
+@dataclass(frozen=True)
+class SourceHit:
+    """One nondeterminism source site inside a function body."""
+
+    code: str  # RPR101 / RPR102 / RPR103
+    line: int
+    detail: str  # e.g. "time.time()"
+    kind: str  # e.g. "wall clock"
+
+
+def _call_text(node: ast.Call) -> str:
+    try:
+        return ast.unparse(node.func)
+    except Exception:
+        return "<call>"
+
+
+def _classify_call(node: ast.Call) -> SourceHit | None:
+    """Source classification for one call node, or ``None`` when benign."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in ("hash", "id"):
+            return SourceHit(
+                "RPR102", node.lineno, f"{func.id}()", "PYTHONHASHSEED/address-unstable"
+            )
+        return None
+    text = _call_text(node)
+    if _CLOCKS.match(text):
+        return SourceHit("RPR101", node.lineno, f"{text}()", "wall clock")
+    if _IDENTITY.match(text):
+        return SourceHit("RPR101", node.lineno, f"{text}()", "process/host identity")
+    if text == "os.environ.get" or text.endswith(".environ.get"):
+        return SourceHit("RPR101", node.lineno, f"{text}()", "environment read")
+    m = re.match(r"^random\.(?P<attr>\w+)$", text)
+    if m and m.group("attr") not in _RANDOM_CONSTRUCTORS:
+        return SourceHit("RPR101", node.lineno, f"{text}()", "process-global RNG")
+    m = _NP_RANDOM.match(text)
+    if m:
+        attr = m.group("attr")
+        if attr in ("default_rng", "Generator", "RandomState", "SeedSequence"):
+            if not node.args and not node.keywords:
+                return SourceHit(
+                    "RPR101", node.lineno, f"{text}()", "unseeded RNG construction"
+                )
+            return None  # explicitly seeded: deterministic by construction
+        return SourceHit("RPR101", node.lineno, f"{text}()", "global NumPy RNG")
+    return None
+
+
+_SET_ANNOTATION = re.compile(r"^(typing\.)?([Ff]rozen[Ss]et|[Ss]et|AbstractSet|MutableSet)\b")
+
+
+def _local_set_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names that are sets: set-typed parameters and set-valued assignments."""
+    names: set[str] = set()
+    for arg in list(node.args.args) + list(node.args.posonlyargs) + list(
+        node.args.kwonlyargs
+    ):
+        try:
+            annotation = ast.unparse(arg.annotation) if arg.annotation else ""
+        except Exception:
+            annotation = ""
+        if _SET_ANNOTATION.match(annotation):
+            names.add(arg.arg)
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and _is_set_expr(stmt.value, frozenset()):
+                names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            try:
+                annotation = ast.unparse(stmt.annotation)
+            except Exception:
+                annotation = ""
+            if _SET_ANNOTATION.match(annotation):
+                names.add(stmt.target.id)
+    return names
+
+
+def _is_set_expr(expr: ast.AST, set_names: frozenset[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(expr, ast.Name) and expr.id in set_names:
+        return True
+    return False
+
+
+def function_sources(info: FunctionInfo) -> list[SourceHit]:
+    """All nondeterminism source sites inside one function body."""
+    node = info.node
+    if node is None:
+        return []
+    hits: list[SourceHit] = []
+    set_names = frozenset(_local_set_names(node))
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Call):
+            hit = _classify_call(inner)
+            if hit is not None:
+                hits.append(hit)
+        elif isinstance(inner, ast.Subscript):
+            try:
+                base = ast.unparse(inner.value)
+            except Exception:
+                base = ""
+            if base == "os.environ" and isinstance(inner.ctx, ast.Load):
+                hits.append(
+                    SourceHit("RPR101", inner.lineno, "os.environ[...]", "environment read")
+                )
+        elif isinstance(inner, ast.For):
+            if _is_set_expr(inner.iter, set_names):
+                hits.append(
+                    SourceHit(
+                        "RPR103", inner.lineno, "for ... in <set>", "hash-ordered iteration"
+                    )
+                )
+        elif isinstance(inner, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in inner.generators:
+                if _is_set_expr(gen.iter, set_names):
+                    hits.append(
+                        SourceHit(
+                            "RPR103",
+                            gen.iter.lineno,
+                            "comprehension over <set>",
+                            "hash-ordered iteration",
+                        )
+                    )
+    return hits
+
+
+def find_sinks(index: ProjectIndex) -> list[FunctionInfo]:
+    """All persisted-identity sink functions in the indexed tree."""
+    sinks: list[FunctionInfo] = []
+    for info in index.functions():
+        bare = info.name.split(".")[-1]
+        if bare.startswith("__") and bare.endswith("__"):
+            continue
+        if (
+            _SINK_NAME.search(bare)
+            or bare in EXTRA_SINK_NAMES
+            or (info.class_name is not None and info.class_name.endswith("Spec"))
+        ):
+            sinks.append(info)
+    sinks.sort(key=lambda s: s.qualname)
+    return sinks
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(q.split(":", 1)[1] for q in chain)
+
+
+def check_taint(
+    index: ProjectIndex, graph: CallGraph, include_heuristic: bool = True
+) -> list[Violation]:
+    """Report every nondeterminism source reachable from an identity sink."""
+    sinks = find_sinks(index)
+    source_cache: dict[str, list[SourceHit]] = {}
+
+    def sources_of(qualname: str) -> list[SourceHit]:
+        if qualname not in source_cache:
+            info = graph.functions.get(qualname)
+            source_cache[qualname] = function_sources(info) if info is not None else []
+        return source_cache[qualname]
+
+    # (path, line, code, detail) -> (hit, function, sink bare name, chain)
+    best: dict[tuple[str, int, str, str], tuple[SourceHit, FunctionInfo, str, tuple[str, ...]]] = {}
+    for sink in sinks:
+        closure = graph.reachable([sink.qualname], include_heuristic=include_heuristic)
+        for qualname, chain in closure.items():
+            info = graph.functions[qualname]
+            for hit in sources_of(qualname):
+                key = (info.path, hit.line, hit.code, hit.detail)
+                prior = best.get(key)
+                if prior is None or len(chain) < len(prior[3]):
+                    best[key] = (hit, info, sink.name, chain)
+
+    violations = [
+        Violation(
+            code=hit.code,
+            path=info.path,
+            line=hit.line,
+            message=(
+                f"{hit.detail} is nondeterministic ({hit.kind}) and reaches "
+                f"persisted-identity sink {sink_name}() via {_chain_text(chain)}; "
+                "keys, fingerprints, and lease stems must be pure functions of content"
+            ),
+            symbol=info.qualname,
+        )
+        for (hit, info, sink_name, chain) in best.values()
+    ]
+    violations.extend(_argument_taint(graph, {s.qualname: s for s in sinks}))
+    violations.sort(key=lambda v: (v.path, v.line, v.code, v.message))
+    return violations
+
+
+def _argument_taint(
+    graph: CallGraph, sinks: dict[str, FunctionInfo]
+) -> Iterator[Violation]:
+    """Sources flowing *into* a sink call as arguments at the call site.
+
+    Closure taint covers sources inside a sink's own call tree; this
+    covers ``cache_key(stamp=time.time())`` -- nondeterminism injected by
+    the caller, which the closure walk cannot see.
+    """
+    for edge in graph.edges:
+        if edge.callee not in sinks:
+            continue
+        caller = graph.functions.get(edge.caller)
+        if caller is None or caller.node is None or edge.caller in sinks:
+            continue
+        for call in ast.walk(caller.node):
+            if not isinstance(call, ast.Call) or call.lineno != edge.line:
+                continue
+            arg_exprs = list(call.args) + [kw.value for kw in call.keywords]
+            for expr in arg_exprs:
+                for inner in ast.walk(expr):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    hit = _classify_call(inner)
+                    if hit is None or hit.code == "RPR103":
+                        continue
+                    sink_bare = sinks[edge.callee].name
+                    yield Violation(
+                        code=hit.code,
+                        path=caller.path,
+                        line=inner.lineno,
+                        message=(
+                            f"{hit.detail} ({hit.kind}) flows into identity sink "
+                            f"{sink_bare}() as a call argument; identity inputs "
+                            "must be deterministic content"
+                        ),
+                        symbol=caller.qualname,
+                    )

@@ -158,7 +158,7 @@ def code_fingerprint() -> str:
     if _CODE_FINGERPRINT is None:
         from .. import datasets, gbdt
 
-        _CODE_FINGERPRINT = _hash_packages(gbdt, datasets)
+        _CODE_FINGERPRINT = _hash_packages(gbdt, datasets)  # repro: noqa RPR104 -- per-process memo of a content hash; every process computes the identical value
     return _CODE_FINGERPRINT
 
 
@@ -176,7 +176,7 @@ def sim_fingerprint() -> str:
     if _SIM_FINGERPRINT is None:
         from .. import baselines, core, datasets, gbdt, memory, sim
 
-        _SIM_FINGERPRINT = _hash_packages(
+        _SIM_FINGERPRINT = _hash_packages(  # repro: noqa RPR104 -- per-process memo of a content hash; every process computes the identical value
             gbdt, datasets, baselines, core, memory, sim
         )
     return _SIM_FINGERPRINT
@@ -398,5 +398,5 @@ def default_cache() -> ProfileCache:
     """The process-wide cache used when callers don't supply their own."""
     global _DEFAULT_CACHE
     if _DEFAULT_CACHE is None:
-        _DEFAULT_CACHE = ProfileCache()
+        _DEFAULT_CACHE = ProfileCache()  # repro: noqa RPR104 -- per-process singleton over a shared on-disk root; the store, not the handle, is the shared state
     return _DEFAULT_CACHE

@@ -436,7 +436,7 @@ class Coordinator:
             # Raw write, not atomic_write_bytes: publication is the os.link
             # below (exclusive, full-content), and the link needs a stable
             # source path this worker alone owns.
-            tmp.write_bytes(json.dumps(mine, sort_keys=True).encode())  # repro: noqa RPR001 -- private temp file; the atomic publish is the exclusive os.link below
+            tmp.write_bytes(json.dumps(mine, sort_keys=True).encode())  # repro: noqa RPR001,RPR105 -- private temp file; the atomic publish is the exclusive os.link below
             try:
                 os.link(tmp, path)
             except FileExistsError:

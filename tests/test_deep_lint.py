@@ -1,0 +1,263 @@
+"""Tests for the whole-program ``repro lint --deep`` pass (RPR101-106).
+
+The headline contract: the seeded regression fixture
+(``rpr101_cross_function.py.txt``) smuggles ``time.time()`` into a
+cache-key path through one level of indirection -- the shallow rules must
+miss it and ``--deep`` must catch it.  Plus: worker-effect and
+lease-protocol fixtures, inline suppression of deep findings, the
+baseline ratchet (new-vs-baselined-vs-stale), SARIF output, and a
+deep-clean assertion over the real tree.
+"""
+
+import json
+from io import StringIO
+from pathlib import Path
+
+from repro.devtools.deep import DEEP_RULE_DOCS, SUPERSEDED_BY_DEEP
+from repro.devtools.lint import (
+    apply_baseline,
+    format_sarif,
+    iter_python_files,
+    lint_main,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+REPO_ROOT = Path(__file__).parents[1]
+
+
+def place(tmp_path, fixture: str, dest: str) -> Path:
+    target = tmp_path / dest
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text((FIXTURES / fixture).read_text(encoding="utf-8"), encoding="utf-8")
+    return target
+
+
+def deep(*targets, select=None):
+    return run_lint([str(t) for t in targets], select=select, deep=True)
+
+
+def codes(report):
+    return [v.code for v in report.violations]
+
+
+class TestSeededCrossFunctionRegression:
+    """The fixture the interprocedural pass earns its keep on."""
+
+    def test_shallow_rules_provably_miss_it(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        assert run_lint([str(bad)]).ok  # full shallow run: clean
+
+    def test_deep_catches_helper_indirection(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        report = deep(bad, select="RPR101")
+        assert "RPR101" in codes(report)
+        helper_hits = [v for v in report.violations if "time.time()" in v.message]
+        assert any("cache_key" in v.message and "_freshness_stamp" in v.message for v in helper_hits)
+
+    def test_deep_catches_argument_flow(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        report = deep(bad, select="RPR101")
+        assert any("argument" in v.message and "train_key" in v.message for v in report.violations)
+
+    def test_violations_carry_symbols_for_fingerprints(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        report = deep(bad, select="RPR101")
+        assert all(v.symbol.startswith("repro.experiments.badkey:") for v in report.violations)
+
+    def test_inline_suppression_applies_to_deep_findings(self, tmp_path):
+        source = (FIXTURES / "rpr101_cross_function.py.txt").read_text(encoding="utf-8")
+        source = source.replace(
+            "return time.time()",
+            "return time.time()  # repro: noqa RPR101 -- fixture: suppression must reach deep findings",
+        ).replace(
+            'return train_key(f"{name}:{time.time()}")',
+            'return train_key(f"{name}:{time.time()}")  # repro: noqa RPR101 -- fixture: suppression must reach deep findings',
+        )
+        target = tmp_path / "src/repro/experiments/badkey.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        assert deep(target, select="RPR101").ok
+
+
+class TestTaint:
+    def test_clean_identity_paths_stay_silent(self, tmp_path):
+        good = place(tmp_path, "deep_taint_clean.py.txt", "src/repro/experiments/goodkey.py")
+        assert deep(good).ok
+
+    def test_set_iteration_and_builtin_hash(self, tmp_path):
+        bad = place(tmp_path, "deep_taint_set_iteration.py.txt", "src/repro/core/digest.py")
+        report = deep(bad, select="RPR102,RPR103")
+        got = codes(report)
+        assert "RPR103" in got  # for part in parts: inside the digest closure
+        assert "RPR102" in got  # hash(obj) inside owner_fingerprint
+        assert any("PYTHONHASHSEED" in v.message for v in report.violations)
+
+
+class TestWorkerEffects:
+    def test_mutation_and_write_one_call_away(self, tmp_path):
+        bad = place(tmp_path, "deep_effects.py.txt", "src/repro/experiments/badworker.py")
+        report = deep(bad, select="RPR104,RPR105")
+        got = codes(report)
+        assert got.count("RPR104") == 1  # _MEMO mutation; _BLESSED is declared
+        assert got.count("RPR105") == 1  # _spill, not parent_only_write
+        assert all("_run_payload" in v.message for v in report.violations)
+
+    def test_blessed_memo_definition_excuses_mutations(self, tmp_path):
+        bad = place(tmp_path, "deep_effects.py.txt", "src/repro/experiments/badworker.py")
+        report = deep(bad, select="RPR104")
+        assert not any("_BLESSED" in v.message for v in report.violations)
+
+
+class TestLeaseProtocol:
+    def test_good_and_bad_claim_regions(self, tmp_path):
+        mixed = place(tmp_path, "deep_lease.py.txt", "src/repro/experiments/drains.py")
+        report = deep(mixed, select="RPR106")
+        bad_symbols = {v.symbol.split(":")[1] for v in report.violations}
+        assert bad_symbols == {"drain_leaky", "drain_early_return", "drain_unchecked"}
+
+    def test_failure_messages_name_the_leak(self, tmp_path):
+        mixed = place(tmp_path, "deep_lease.py.txt", "src/repro/experiments/drains.py")
+        report = deep(mixed, select="RPR106")
+        by_symbol = {v.symbol.split(":")[1]: v.message for v in report.violations}
+        assert "may raise" in by_symbol["drain_leaky"]
+        assert "returns out of the claim region" in by_symbol["drain_early_return"]
+        assert "unrecognized claim() usage" in by_symbol["drain_unchecked"]
+
+
+class TestBaselineRatchet:
+    def _report(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        return deep(bad, select="RPR101")
+
+    def test_roundtrip_baselines_everything(self, tmp_path):
+        report = self._report(tmp_path)
+        assert not report.ok
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(report, baseline_path)
+        fresh = self._report(tmp_path)
+        apply_baseline(fresh, load_baseline(baseline_path))
+        assert fresh.ok and len(fresh.baselined) == len(report.violations)
+        assert not fresh.stale
+
+    def test_new_findings_still_fail(self, tmp_path):
+        report = self._report(tmp_path)
+        first, rest = report.violations[0], report.violations[1:]
+        baseline_path = tmp_path / "baseline.json"
+        partial = type(report)(violations=rest, n_files=report.n_files)
+        write_baseline(partial, baseline_path)
+        apply_baseline(report, load_baseline(baseline_path))
+        assert report.violations == [first]  # only the unbaselined one fails
+        assert len(report.baselined) == len(rest)
+
+    def test_stale_entries_are_surfaced(self, tmp_path):
+        report = self._report(tmp_path)
+        findings = {"deadbeefdeadbeef": {"code": "RPR101", "path": "gone.py"}}
+        apply_baseline(report, findings)
+        assert report.stale == ["deadbeefdeadbeef"]
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        report = self._report(tmp_path)
+        fps = {v.fingerprint for v in report.violations}
+        # Re-place the fixture with a pushed-down body: same findings.
+        source = (FIXTURES / "rpr101_cross_function.py.txt").read_text(encoding="utf-8")
+        target = tmp_path / "src/repro/experiments/badkey.py"
+        target.write_text("# shifted\n# shifted\n" + source, encoding="utf-8")
+        shifted = deep(target, select="RPR101")
+        assert {v.fingerprint for v in shifted.violations} == fps
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        baseline_path = tmp_path / "baseline.json"
+        out = StringIO()
+        assert (
+            lint_main([str(bad)], deep=True, update_baseline=str(baseline_path), out=out) == 0
+        )
+        assert lint_main([str(bad)], deep=True, baseline=str(baseline_path), out=out) == 0
+        assert lint_main([str(bad)], deep=True, out=out) == 1
+
+
+class TestSarif:
+    def test_sarif_structure(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        report = deep(bad, select="RPR101")
+        doc = json.loads(format_sarif(report))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == {"RPR101"}
+        result = run["results"][0]
+        assert result["ruleId"] == "RPR101"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("badkey.py")
+        assert location["region"]["startLine"] >= 1
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_baselined_findings_are_omitted(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        report = deep(bad, select="RPR101")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(report, baseline_path)
+        apply_baseline(report, load_baseline(baseline_path))
+        doc = json.loads(format_sarif(report))
+        assert doc["runs"][0]["results"] == []
+
+    def test_lint_main_emits_sarif(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        out = StringIO()
+        assert lint_main([str(bad)], fmt="sarif", deep=True, out=out) == 1
+        assert json.loads(out.getvalue())["version"] == "2.1.0"
+
+
+class TestFrameworkGlue:
+    def test_deep_supersedes_shallow_heuristics(self, tmp_path):
+        # A same-function clock in a key path: RPR003 catches it shallow,
+        # the taint pass reports it as RPR101 under --deep -- never both.
+        bad = place(tmp_path, "rpr003_wallclock_key.py.txt", "src/repro/experiments/keys.py")
+        shallow = run_lint([str(bad)])
+        deep_report = deep(bad)
+        assert "RPR003" in [v.code for v in shallow.violations]
+        deep_codes = codes(deep_report)
+        assert "RPR003" not in deep_codes and "RPR002" not in deep_codes
+        assert "RPR101" in deep_codes
+        assert SUPERSEDED_BY_DEEP == {"RPR002", "RPR003"}
+
+    def test_graph_out_serializes(self, tmp_path):
+        bad = place(tmp_path, "rpr101_cross_function.py.txt", "src/repro/experiments/badkey.py")
+        graph_path = tmp_path / "graph.json"
+        out = StringIO()
+        lint_main([str(bad)], deep=True, graph_out=str(graph_path), out=out)
+        payload = json.loads(graph_path.read_text(encoding="utf-8"))
+        assert payload["n_functions"] >= 4
+        assert any("cache_key" in f["qualname"] for f in payload["functions"])
+
+    def test_every_deep_rule_is_documented(self):
+        assert sorted(DEEP_RULE_DOCS) == [f"RPR10{i}" for i in range(1, 7)]
+        dev_docs = (REPO_ROOT / "docs" / "development.md").read_text(encoding="utf-8")
+        for code in DEEP_RULE_DOCS:
+            assert code in dev_docs
+
+    def test_iter_python_files_dedupes_resolved_spellings(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        listed = list(
+            iter_python_files([str(pkg), str(pkg / "mod.py"), str((pkg / "mod.py").resolve())])
+        )
+        assert len(listed) == 1
+
+
+class TestTreeIsDeepClean:
+    def test_repository_deep_lints_clean(self):
+        report = run_lint([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], deep=True)
+        assert report.ok, "\n".join(v.render() for v in report.violations)
+
+    def test_committed_baseline_is_current(self):
+        baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+        report = run_lint([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], deep=True)
+        apply_baseline(report, baseline)
+        assert report.ok
+        assert not report.stale, f"shrink the baseline: stale entries {report.stale}"

@@ -1,0 +1,155 @@
+"""Tests for the call-graph builder behind ``repro lint --deep``.
+
+The fixture package under ``tests/data/graph_fixtures`` is copied into a
+``src/repro/gfix`` layout so ``module_name_for`` and the import resolver
+see real package paths: an import cycle (alpha <-> beta, closed lazily),
+``from x import y as z`` aliasing, method dispatch through ``self`` and
+typed locals, constructor edges, and a dynamic call that must degrade to
+an ``unknown`` edge rather than crash.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.graph import (
+    GRAPH_VERSION,
+    CallGraph,
+    ProjectIndex,
+    module_name_for,
+)
+from repro.devtools.lint import load_context
+
+FIXTURES = Path(__file__).parent / "data" / "graph_fixtures"
+
+_LAYOUT = {
+    "gfix_init.py.txt": "src/repro/gfix/__init__.py",
+    "gfix_alpha.py.txt": "src/repro/gfix/alpha.py",
+    "gfix_beta.py.txt": "src/repro/gfix/beta.py",
+}
+
+
+@pytest.fixture()
+def graph_and_index(tmp_path):
+    contexts = []
+    for fixture, dest in _LAYOUT.items():
+        target = tmp_path / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text((FIXTURES / fixture).read_text(encoding="utf-8"), encoding="utf-8")
+        ctx, problems = load_context(target, rel=dest)
+        assert not problems
+        contexts.append(ctx)
+    index = ProjectIndex.build(contexts)
+    return CallGraph.build(index), index
+
+
+def edges_of(graph, caller):
+    return {(e.callee, e.kind) for e in graph.callees(caller)}
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_for("src/repro/experiments/steal.py") == "repro.experiments.steal"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for("src/repro/gfix/__init__.py") == "repro.gfix"
+
+    def test_non_package_paths_are_skipped(self):
+        assert module_name_for("scripts/tool.py") is None
+        assert module_name_for("src/repro/notes.txt") is None
+
+
+class TestResolution:
+    def test_import_alias_resolves(self, graph_and_index):
+        graph, _ = graph_and_index
+        # from .beta import helper as aliased_helper; aliased_helper()
+        assert ("repro.gfix.beta:helper", "direct") in edges_of(graph, "repro.gfix.alpha:run_alpha")
+
+    def test_module_attribute_call_resolves(self, graph_and_index):
+        graph, _ = graph_and_index
+        # from . import beta; beta.helper() -- same callee, one edge per site
+        helper_edges = [
+            e
+            for e in graph.callees("repro.gfix.alpha:run_alpha")
+            if e.callee == "repro.gfix.beta:helper"
+        ]
+        assert len(helper_edges) == 2
+
+    def test_self_method_dispatch(self, graph_and_index):
+        graph, _ = graph_and_index
+        assert ("repro.gfix.alpha:Widget.tag", "method") in edges_of(
+            graph, "repro.gfix.alpha:Widget.render"
+        )
+
+    def test_constructor_edge(self, graph_and_index):
+        graph, _ = graph_and_index
+        assert ("repro.gfix.alpha:Widget.__init__", "method") in edges_of(
+            graph, "repro.gfix.alpha:run_alpha"
+        )
+
+    def test_typed_local_through_factory_return(self, graph_and_index):
+        graph, _ = graph_and_index
+        # factory_made = make_widget("f") types through the return annotation.
+        assert ("repro.gfix.alpha:Widget.tag", "method") in edges_of(
+            graph, "repro.gfix.alpha:run_alpha"
+        )
+
+    def test_import_cycle_resolves_both_ways(self, graph_and_index):
+        graph, _ = graph_and_index
+        # beta.helper lazily imports alpha.run_alpha (a name use, not a call);
+        # beta.uses_alpha constructs alpha.Widget and calls its method.
+        assert ("repro.gfix.alpha:Widget.render", "method") in edges_of(
+            graph, "repro.gfix.beta:uses_alpha"
+        )
+
+    def test_package_init_relative_import(self, graph_and_index):
+        _, index = graph_and_index
+        # from .alpha import run_alpha inside gfix/__init__.py anchors at
+        # gfix itself, not its parent.
+        resolved = index.resolve_name("repro.gfix", "run_alpha")
+        assert resolved is not None and resolved.qualname == "repro.gfix.alpha:run_alpha"
+
+    def test_dynamic_call_degrades_to_unknown(self, graph_and_index):
+        graph, _ = graph_and_index
+        unknown = [
+            e for e in graph.callees("repro.gfix.alpha:run_alpha") if not e.resolved
+        ]
+        assert any(e.callee == "?target" for e in unknown)
+
+
+class TestReachability:
+    def test_closure_with_witness_chains(self, graph_and_index):
+        graph, _ = graph_and_index
+        closure = graph.reachable(["repro.gfix.alpha:run_alpha"])
+        assert "repro.gfix.beta:helper" in closure
+        assert "repro.gfix.alpha:Widget.tag" in closure
+        chain = closure["repro.gfix.beta:helper"]
+        assert chain[0] == "repro.gfix.alpha:run_alpha"
+        assert chain[-1] == "repro.gfix.beta:helper"
+
+    def test_unlisted_start_is_ignored(self, graph_and_index):
+        graph, _ = graph_and_index
+        assert graph.reachable(["repro.gfix.alpha:no_such"]) == {}
+
+
+class TestSerialization:
+    def test_round_trip(self, graph_and_index):
+        graph, _ = graph_and_index
+        payload = json.loads(json.dumps(graph.to_dict()))
+        restored = CallGraph.from_dict(payload)
+        assert set(restored.functions) == set(graph.functions)
+        assert {(e.caller, e.callee, e.line, e.kind) for e in restored.edges} == {
+            (e.caller, e.callee, e.line, e.kind) for e in graph.edges
+        }
+        # Restored graphs answer reachability identically (minus live ASTs).
+        assert set(restored.reachable(["repro.gfix.alpha:run_alpha"])) == set(
+            graph.reachable(["repro.gfix.alpha:run_alpha"])
+        )
+
+    def test_version_mismatch_rejected(self, graph_and_index):
+        graph, _ = graph_and_index
+        payload = graph.to_dict()
+        payload["version"] = GRAPH_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            CallGraph.from_dict(payload)
