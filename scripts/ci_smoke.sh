@@ -15,6 +15,10 @@
 #      committed baseline inside its wall-clock budget, and the seeded
 #      cross-function regression is caught by --deep but missed by the
 #      shallow per-file rules
+#   7. serving sweep (--serve): cold run trains once, warm replay is
+#      zero re-simulation, the latency tail diverges from the mean under
+#      load (saturation), and serving manifests merge with inference
+#      manifests side by side
 #
 # Everything lands under /tmp (*.jsonl manifests, *.log transcripts) so a
 # failing CI run can upload the lot as artifacts.
@@ -27,7 +31,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 SWEEP="python -m repro.cli sweep --serial --trees 2 --dataset mq2008 --axis max_depth=2,3 --systems ideal-32-core booster"
 
-echo "=== smoke 1/6: sweep interrupt + resume ==="
+echo "=== smoke 1/7: sweep interrupt + resume ==="
 $SWEEP --out /tmp/sweep.jsonl
 # Simulate an interrupted run: drop the manifest's second line.
 head -n 1 /tmp/sweep.jsonl > /tmp/sweep.partial && mv /tmp/sweep.partial /tmp/sweep.jsonl
@@ -38,7 +42,7 @@ grep -q 'resume: 1/2 scenarios already in' /tmp/resume.log
 grep -q '\[stored\]' /tmp/resume.log
 python -c 'import json; lines = [json.loads(l) for l in open("/tmp/sweep.jsonl")]; assert len(lines) == 2 and all(l["error"] is None for l in lines), lines; assert lines[1]["stored"] is True, "resumed scenario was re-simulated"'
 
-echo "=== smoke 2/6: sharded sweep + merge ==="
+echo "=== smoke 2/7: sharded sweep + merge ==="
 $SWEEP --out /tmp/full.jsonl
 # The same sweep as two shards: a disjoint cover of the scenario list,
 # each shard streaming its own manifest.
@@ -52,7 +56,7 @@ python -m repro.cli report --from-manifest /tmp/merged.jsonl
 # order and execution provenance).
 python -c 'import json; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/full.jsonl"); merged = load("/tmp/merged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "merged manifest diverges from the unsharded sweep"; print(f"merged manifest matches the unsharded sweep ({len(merged)} scenarios)")'
 
-echo "=== smoke 3/6: cost-balanced sharding ==="
+echo "=== smoke 3/7: cost-balanced sharding ==="
 # On a heterogeneous sweep (trees x record scale spanning two orders of
 # magnitude), the cost-balanced partition must predict a strictly smaller
 # max shard cost than the hash partition.
@@ -69,7 +73,7 @@ python -m repro.cli merge /tmp/cmerged.jsonl /tmp/cshard1.jsonl /tmp/cshard2.jso
 python -m repro.cli report --from-manifest /tmp/cmerged.jsonl
 python -c 'import json; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/full.jsonl"); merged = load("/tmp/cmerged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "cost-balanced merge diverges from the unsharded sweep"; print(f"cost-balanced merge matches the unsharded sweep ({len(merged)} scenarios)")'
 
-echo "=== smoke 4/6: work stealing over a shared lease directory ==="
+echo "=== smoke 4/7: work stealing over a shared lease directory ==="
 # Two workers drain ONE sweep through lease files in a shared directory.
 # A cold cache makes every scenario cost real training time, so both
 # workers reliably get to claim work (a warm store would let the first
@@ -93,7 +97,7 @@ python -m repro.cli sweep --serial --trees 2 --dataset mq2008 $STEAL_AXES --syst
 python -m repro.cli merge /tmp/steal-merged.jsonl /tmp/steal-w1.jsonl /tmp/steal-w2.jsonl
 python -c 'import json, pathlib; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/steal-full.jsonl"); merged = load("/tmp/steal-merged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "steal-mode merge diverges from the unsharded sweep"; leases = list(pathlib.Path("/tmp/steal-coord").glob("*.lease")); assert len(leases) == len(full), (len(leases), len(full)); assert all(json.loads(p.read_bytes())["done"] for p in leases), "undone lease left behind"; print(f"steal-mode merge matches the unsharded sweep ({len(merged)} scenarios, {len(leases)} leases, all done)")'
 
-echo "=== smoke 5/6: quick bench + schema validation ==="
+echo "=== smoke 5/7: quick bench + schema validation ==="
 # The bench validates before writing; re-validating the file from a fresh
 # process proves the committed-trajectory read path too.  Shape only --
 # never absolute times (host-specific).  CI uploads the document as an
@@ -101,7 +105,7 @@ echo "=== smoke 5/6: quick bench + schema validation ==="
 python -m repro.cli bench --quick --repeats 2 --out /tmp/bench-quick.json
 python -c "import json; from repro.experiments.bench import validate_bench; doc = json.load(open('/tmp/bench-quick.json')); validate_bench(doc); assert doc['quick'] is True; print('bench document valid:', len(doc['cells']), 'cells')"
 
-echo "=== smoke 6/6: deep lint (interprocedural pass) ==="
+echo "=== smoke 6/7: deep lint (interprocedural pass) ==="
 # (a) The whole-tree deep pass is green against the committed baseline and
 # inside the wall-clock budget the pre-commit hook depends on.
 timeout 10 python -m repro.devtools src tests --deep --baseline lint-baseline.json
@@ -118,5 +122,28 @@ fi
 grep -q 'RPR101' /tmp/deep-miss.log
 grep -q 'via cache_key -> _freshness_stamp' /tmp/deep-miss.log
 echo "deep lint caught the cross-function clock (shallow pass was clean)"
+
+echo "=== smoke 7/7: serving sweep (latency tail under load) ==="
+# records_per_request=20000 puts the ideal-32-core design point's serving
+# capacity at ~112 qps, so arrival_qps=100,400 straddles it: the cool row
+# is stationary, the hot row saturates and the tail diverges from the mean.
+export REPRO_CACHE_DIR=/tmp/repro-ci-serve-cache
+rm -rf /tmp/repro-ci-serve-cache
+SERVE="python -m repro.cli sweep --serial --trees 2 --dataset mq2008 --systems ideal-32-core booster --serve --serve-duration 2.0 --axis records_per_request=20000 --axis arrival_qps=100,400"
+$SERVE --out /tmp/serve.jsonl | tee /tmp/serve.log
+grep -q '\[trained\]' /tmp/serve.log   # cold cache: the design point trains once
+# Warm replay: zero retraining, zero re-simulation, both rows [stored].
+$SERVE --out /tmp/serve-warm.jsonl | tee /tmp/serve-warm.log
+if grep -q '\[trained\]' /tmp/serve-warm.log; then echo 'warm serving sweep retrained!' >&2; exit 1; fi
+test "$(grep -c '\[stored\]' /tmp/serve-warm.log)" -eq 2
+python -c 'import json; rows = [json.loads(l) for l in open("/tmp/serve.jsonl")]; assert len(rows) == 2 and all(r["error"] is None and r["kind"] == "serving" for r in rows), rows; by_qps = {r["scenario"]["serving"]["qps"]: r["serving"]["systems"] for r in rows}; hot = by_qps[400.0]["ideal-32-core"]; assert hot["saturated"] and hot["sustained_qps"] < hot["offered_qps"], hot; assert hot["p99_ms"] > 1.5 * hot["mean_ms"] > 0, (hot["p99_ms"], hot["mean_ms"]); cool = by_qps[100.0]["ideal-32-core"]; assert not cool["saturated"], cool; assert cool["p99_ms"] > 2 * cool["mean_ms"] > 0, (cool["p99_ms"], cool["mean_ms"]); assert by_qps[400.0]["booster"]["p99_ms"] < hot["p99_ms"], "booster tail should beat the baseline"; ratio = cool["p99_ms"] / cool["mean_ms"]; print("tail diverges under load: cool p99/mean %.2fx, hot saturated at %.0f/%.0f qps" % (ratio, hot["sustained_qps"], hot["offered_qps"]))'
+# Serving manifests merge with inference manifests side by side; report
+# renders one table per kind.
+python -m repro.cli sweep --serial --trees 2 --dataset mq2008 --systems ideal-32-core booster --inference --axis max_depth=2 --out /tmp/serve-inf.jsonl
+python -m repro.cli merge /tmp/serve-mixed.jsonl /tmp/serve.jsonl /tmp/serve-inf.jsonl | tee /tmp/serve-merge.log
+grep -q 'kinds: inference+serving' /tmp/serve-merge.log
+python -m repro.cli report --from-manifest /tmp/serve-mixed.jsonl | tee /tmp/serve-report.log
+grep -q 'p99 (ms)' /tmp/serve-report.log
+grep -q 'booster (ms)' /tmp/serve-report.log
 
 echo "all sweep smokes passed"

@@ -13,6 +13,7 @@ Installed as the ``repro`` console script::
     repro sweep --axis seed=1,2,3 --shard 1/2 --out shard1.jsonl  # host 1 of 2
     repro sweep --axis trees=50,400 --shard 1/2 --balance cost --out s1.jsonl
     repro sweep --axis seed=1,2,3 --coordinate /shared/lease --out w1.jsonl
+    repro sweep --serve --axis arrival_qps=100,400 --out serve.jsonl  # latency tail
     repro steal-status /shared/lease    # who holds what, what is claimable
     repro plan --axis trees=50,400 --axis scale=1,8 --shards 2  # predict costs
     repro merge merged.jsonl shard1.jsonl shard2.jsonl  # union shard manifests
@@ -35,6 +36,7 @@ if TYPE_CHECKING:  # annotation-only: commands lazy-import the heavy layers
 
 from .datasets import BENCHMARK_NAMES, dataset_spec, generate, table3_rows
 from .gbdt import TrainParams, train, train_level_wise
+from .serving.params import ARRIVAL_KINDS, POLICIES, QUEUE_DISCIPLINES
 from .sim.artifacts import ARTIFACTS, build
 from .sim.executor import Executor
 from .sim.report import render_table
@@ -46,6 +48,7 @@ examples:
   repro sweep --axis seed=1,2,3 --out results/sweeps/seeds.jsonl
   repro sweep --axis seed=1,2,3 --out results/sweeps/seeds.jsonl --resume
   repro sweep --axis seed=1,2,3 --shard 2/2 --out shard2.jsonl
+  repro sweep --serve --axis arrival_qps=100,400,1600 --policy timeout
   repro merge merged.jsonl shard1.jsonl shard2.jsonl
   repro report --from-manifest merged.jsonl
 
@@ -83,6 +86,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--trees", type=int, default=10, help="boosting rounds to simulate functionally"
     )
     common.add_argument("--seed", type=int, default=7, help="dataset seed")
+
+    # Serving-scenario knobs, shared by `sweep`, `plan`, and `cache export`
+    # so all three expand byte-identical scenarios (hence identical keys)
+    # for the same command line.
+    serving_opts = argparse.ArgumentParser(add_help=False)
+    serve_group = serving_opts.add_argument_group("serving (with --serve)")
+    serve_group.add_argument(
+        "--serve",
+        action="store_true",
+        help="measure traffic-driven serving latency (arrival trace through "
+        "a batching queue -> p50/p99/QPS) instead of training times; "
+        "results persist in their own result-store namespace",
+    )
+    serve_group.add_argument(
+        "--arrival",
+        choices=ARRIVAL_KINDS,
+        default="poisson",
+        help="arrival process: homogeneous poisson, diurnal-modulated "
+        "poisson, or a recorded trace (default: poisson)",
+    )
+    serve_group.add_argument(
+        "--qps",
+        type=float,
+        default=200.0,
+        help="offered load in requests/second for generated arrivals "
+        "(default: 200)",
+    )
+    serve_group.add_argument(
+        "--serve-duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        dest="serve_duration",
+        help="generated-trace horizon in seconds (default: 5)",
+    )
+    serve_group.add_argument(
+        "--policy",
+        choices=POLICIES,
+        default="batch",
+        help="batching policy: immediate (one request per batch), batch "
+        "(greedy up to --max-batch), or timeout (hold the batch open up "
+        "to --batch-timeout-ms to fill; default: batch)",
+    )
+    serve_group.add_argument(
+        "--max-batch", type=int, default=32, help="batch-size cap (default: 32)"
+    )
+    serve_group.add_argument(
+        "--batch-timeout-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="microbatch window for --policy timeout (default: 2.0)",
+    )
+    serve_group.add_argument(
+        "--queue",
+        choices=QUEUE_DISCIPLINES,
+        default="fifo",
+        help="queue discipline: fifo, or priority (lower trace priority "
+        "values served first; default: fifo)",
+    )
+    serve_group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="replay a recorded JSONL arrival trace (implies --arrival "
+        "trace; the scenario is keyed by the file's content digest, not "
+        "its path)",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser(
@@ -124,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep",
-        parents=[common],
+        parents=[common, serving_opts],
         help="scenario sweep: cartesian axes, parallel workers, persistent cache",
         description="Without --axis, prints the classic Booster design-space "
         "table. With one or more --axis NAME=V1,V2,... arguments, expands the "
@@ -237,7 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_plan = sub.add_parser(
         "plan",
-        parents=[common],
+        parents=[common, serving_opts],
         help="predict per-shard sweep costs without running anything",
         description="Expand the sweep axes exactly like `repro sweep` and "
         "print the predicted per-scenario and per-shard cost tables for an "
@@ -285,11 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
         "merge",
         help="union sweep shard manifests into one manifest",
         description="Merge JSONL sweep manifests (e.g. one per --shard host) "
-        "into OUT: lines are deduped by scenario cache_key, successful lines "
-        "are preferred over error lines, and manifests recorded under "
-        "different simulation source (sim_code) or different sweep kinds "
-        "are rejected rather than silently mixed.  Nothing is retrained or "
-        "re-simulated.",
+        "into OUT: lines are deduped per (sweep kind, scenario cache_key), "
+        "successful lines are preferred over error lines, and manifests "
+        "recorded under different simulation source (sim_code) are "
+        "rejected rather than silently mixed.  Compare, inference, and "
+        "serving manifests of the same sweep merge side by side.  Nothing "
+        "is retrained or re-simulated.",
     )
     p_merge.add_argument("out", help="merged manifest to write")
     p_merge.add_argument("inputs", nargs="+", help="shard manifests to union")
@@ -320,7 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_cexp = cache_sub.add_parser(
         "export",
-        parents=[common],
+        parents=[common, serving_opts],
         help="tar up cache entries (optionally filtered to one sweep's keys)",
     )
     p_cexp.add_argument("archive", help="tar file to write")
@@ -497,6 +570,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         or args.resume
         or args.shard
         or args.inference
+        or args.serve
         or args.coordinate
         or args.lease_ttl is not None
         or args.balance != "hash"
@@ -504,9 +578,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Silently ignoring these would leave a scripted caller waiting on a
         # manifest that never appears (or a shard that never ran).
         print(
-            "--out/--resume/--shard/--balance/--inference/--coordinate/"
-            "--lease-ttl apply to axis sweeps; add at least one "
-            "--axis NAME=V1,V2,...",
+            "--out/--resume/--shard/--balance/--inference/--serve/"
+            "--coordinate/--lease-ttl apply to axis sweeps; add at least "
+            "one --axis NAME=V1,V2,...",
             file=sys.stderr,
         )
         return 2
@@ -522,15 +596,21 @@ def _resumable_results(
     Corrupt/partial lines are skipped (an interrupted run can leave a
     truncated final line; tolerating it is what makes ``--resume`` safe
     after any kind of crash), and so are failed results, lines of a
-    different sweep kind (a compare manifest cannot resume an inference
-    sweep), and lines whose recorded ``sim_code`` does not match the
-    running simulation source -- replaying a pre-edit timing as current
-    would silently mix stale rows into the sweep.  Skipped scenarios
-    simply re-run.
-    """
-    from .experiments import SweepResult, sim_fingerprint
+    different *known* sweep kind (a compare manifest cannot resume an
+    inference sweep), and lines whose recorded ``sim_code`` does not match
+    the running simulation source -- replaying a pre-edit timing as
+    current would silently mix stale rows into the sweep.  Skipped
+    scenarios simply re-run.
 
-    payload_field = "inference" if mode == "inference" else "comparison"
+    A well-formed line of an *unknown* kind is different: it was written
+    by a newer repro, and silently dropping it would quietly re-run (and
+    re-append) work the manifest already holds.  That raises
+    :class:`ValueError` instead -- forward compatibility fails loudly.
+    """
+    from .experiments import SWEEP_MODES, SweepResult, sim_fingerprint
+
+    payload_fields = {"compare": "comparison", "inference": "inference", "serving": "serving"}
+    payload_field = payload_fields[mode]
     pairs = []
     for line in path.read_text().splitlines():
         line = line.strip()
@@ -538,7 +618,20 @@ def _resumable_results(
             continue
         try:
             d = json.loads(line)
-            if d.get("kind", "compare") != mode:
+        except Exception:
+            continue
+        if not isinstance(d, dict) or "scenario" not in d:
+            continue
+        kind = d.get("kind", "compare")
+        if kind not in SWEEP_MODES:
+            raise ValueError(
+                f"manifest {path} contains result lines of unknown sweep "
+                f"kind {kind!r} (written by a newer repro?); refusing to "
+                "--resume -- upgrade repro or resume with a manifest this "
+                "version understands"
+            )
+        try:
+            if kind != mode:
                 continue
             if d.get("error") is not None or d.get(payload_field) is None:
                 continue
@@ -580,6 +673,8 @@ def _line_is_success(d: dict) -> bool:
     payload = d.get("comparison")
     if payload is None:
         payload = d.get("inference")
+    if payload is None:
+        payload = d.get("serving")
     return d.get("error") is None and payload is not None
 
 
@@ -620,13 +715,31 @@ def _provenance(result: "SweepResult") -> str:
 
 
 def _metric_cells(result: "SweepResult") -> list[str]:
-    """The ``[booster time, speedup]`` table cells for one sweep result.
+    """The per-mode measurement table cells for one sweep result.
 
-    Compare results report training seconds, inference results report
-    batch milliseconds; either way a missing booster system or baseline
-    renders as ``-`` instead of raising.
+    Compare results report booster training seconds and the speedup;
+    inference results the batch milliseconds and the speedup; serving
+    results the booster p50/p99 latency, sustained QPS, and p99 speedup.
+    The cell count always matches :func:`_metric_headers` for the result's
+    kind, and a missing booster system or baseline renders as ``-``
+    instead of raising.
     """
     payload = result.payload
+    if result.kind == "serving":
+        systems = payload.systems if payload is not None else {}
+        if "booster" not in systems:
+            return ["-", "-", "-", "-"]
+        st = systems["booster"]
+        if payload.baseline in systems and st.p99_ms > 0:
+            speedup = f"{payload.speedup('booster'):.2f}x"
+        else:
+            speedup = "-"
+        return [
+            f"{st.p50_ms:.4g}",
+            f"{st.p99_ms:.4g}",
+            f"{st.sustained_qps:.4g}",
+            speedup,
+        ]
     if result.kind == "inference":
         seconds = payload.seconds if payload is not None else {}
         metric = f"{seconds['booster'] * 1e3:.4g}" if "booster" in seconds else "-"
@@ -640,8 +753,18 @@ def _metric_cells(result: "SweepResult") -> list[str]:
     return [metric, speedup]
 
 
-def _metric_header(mode: str) -> str:
-    return "booster (ms)" if mode == "inference" else "booster (s)"
+def _metric_headers(mode: str) -> list[str]:
+    """Table headers matching :func:`_metric_cells` for one sweep kind."""
+    if mode == "serving":
+        return ["p50 (ms)", "p99 (ms)", "QPS", "p99 speedup"]
+    if mode == "inference":
+        return ["booster (ms)", "speedup"]
+    return ["booster (s)", "speedup"]
+
+
+def _sweep_noun(mode: str) -> str:
+    nouns = {"compare": "sweep", "inference": "inference sweep", "serving": "serving sweep"}
+    return nouns.get(mode, f"{mode} sweep")
 
 
 def _duration_cell(result: "SweepResult") -> str:
@@ -692,7 +815,7 @@ def _expand_cli_scenarios(
     raises ``ValueError``/``KeyError`` with a printable message, so the
     two commands cannot drift in what they accept.
     """
-    from .experiments import ScenarioSpec, expand_axes, parse_axis_specs
+    from .experiments import ScenarioSpec, ServingParams, expand_axes, parse_axis_specs
     from .gbdt import TrainParams
     from .sim.executor import MODEL_NAMES
 
@@ -702,11 +825,31 @@ def _expand_cli_scenarios(
             f"unknown systems {unknown_systems}; known: {list(MODEL_NAMES)}"
         )
     axes = parse_axis_specs(args.axis)
+    serving = None
+    if getattr(args, "serve", False):
+        trace = getattr(args, "trace", None)
+        kwargs = dict(
+            arrival=getattr(args, "arrival", "poisson"),
+            qps=getattr(args, "qps", 200.0),
+            duration_s=getattr(args, "serve_duration", 5.0),
+            policy=getattr(args, "policy", "batch"),
+            max_batch=getattr(args, "max_batch", 32),
+            timeout_ms=getattr(args, "batch_timeout_ms", 2.0),
+            queue=getattr(args, "queue", "fifo"),
+        )
+        if trace:
+            from .serving import trace_digest
+
+            # Key the scenario by the trace's CONTENT, pinned now: the same
+            # file on another host keys identically, an edited file misses.
+            kwargs.update(arrival="trace", trace_path=trace, trace_sha=trace_digest(trace))
+        serving = ServingParams(**kwargs)
     base = ScenarioSpec(
         dataset=args.dataset,
         seed=args.seed,
         train=TrainParams(n_trees=args.trees),
         systems=tuple(args.systems) if args.systems else (),
+        serving=serving,
     )
     scenarios = expand_axes(base, axes)
     for scenario in scenarios:
@@ -717,6 +860,7 @@ def _expand_cli_scenarios(
 def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     """Scenario sweep over declared axes (the experiments layer)."""
     from .experiments import (
+        SERVING_AXIS_NAMES,
         ResultStore,
         SweepRunner,
         default_cache,
@@ -727,7 +871,14 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
         scenario_key,
     )
 
-    mode = "inference" if args.inference else "compare"
+    if args.serve and args.inference:
+        print(
+            "--serve and --inference select different measurements of the "
+            "same scenarios; pick one (run two sweeps to get both)",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "serving" if args.serve else ("inference" if args.inference else "compare")
     try:
         if args.resume and not args.out:
             raise ValueError("--resume requires --out (the manifest to resume from)")
@@ -761,6 +912,13 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             )
         shard = parse_shard_spec(args.shard) if args.shard else None
         axes, scenarios = _expand_cli_scenarios(args)
+        serving_axes = sorted(set(axes) & SERVING_AXIS_NAMES)
+        if serving_axes and mode != "serving":
+            raise ValueError(
+                f"axes {serving_axes} are serving knobs; add --serve (a "
+                "training/inference sweep would key scenarios on knobs "
+                "that cannot change its measurement)"
+            )
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
@@ -803,7 +961,14 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     resumed: dict[int, object] = {}
     if args.resume and manifest is not None and manifest.exists():
         by_key: dict[str, list] = {}
-        for key, result in _resumable_results(manifest, mode):
+        try:
+            resumable = _resumable_results(manifest, mode)
+        except ValueError as exc:
+            # e.g. the manifest holds rows of a sweep kind this version
+            # does not know; dropping them would silently redo that work.
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+        for key, result in resumable:
             by_key.setdefault(key, []).append(result)
         for i, scenario in enumerate(scenarios):
             bucket = by_key.get(scenario_key(scenario))
@@ -811,7 +976,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
                 resumed[i] = bucket.pop(0)
 
     axis_names = list(axes)
-    what = "inference sweep" if mode == "inference" else "sweep"
+    what = _sweep_noun(mode)
     balance_note = ", cost-balanced" if args.balance == "cost" else ""
     shard_note = (
         f" (shard {shard_index + 1}/{shard_count} of {total}{balance_note})"
@@ -891,9 +1056,16 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
             failures += 1
             print(f"  FAILED {cells}: {result.error}")
         else:
-            metric, speedup = _metric_cells(result)
             label = {"hit": "cache hit"}.get(_provenance(result), _provenance(result))
-            print(f"  done {cells}: booster {metric} {unit} ({speedup}) [{label}]")
+            if result.kind == "serving":
+                p50, p99, qps, speedup = _metric_cells(result)
+                print(
+                    f"  done {cells}: booster p99 {p99} ms at {qps} qps "
+                    f"({speedup}) [{label}]"
+                )
+            else:
+                metric, speedup = _metric_cells(result)
+                print(f"  done {cells}: booster {metric} {unit} ({speedup}) [{label}]")
 
     claimed = 0
     try:
@@ -937,11 +1109,11 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
     title = (
         f"scenario sweep ({len(rows)} scenarios)"
         if mode == "compare"
-        else f"inference sweep ({len(rows)} scenarios)"
+        else f"{what} ({len(rows)} scenarios)"
     )
     print(
         render_table(
-            axis_names + [_metric_header(mode), "speedup", "training", "pid"],
+            axis_names + _metric_headers(mode) + ["training", "pid"],
             rows,
             title=title,
         )
@@ -1004,7 +1176,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         scenario_key,
     )
 
-    mode = "inference" if args.inference else "compare"
+    if args.serve and args.inference:
+        print(
+            "--serve and --inference select different measurements of the "
+            "same scenarios; pick one",
+            file=sys.stderr,
+        )
+        return 2
+    mode = "serving" if args.serve else ("inference" if args.inference else "compare")
     try:
         if args.shards < 1:
             raise ValueError(f"--shards must be >= 1, got {args.shards}")
@@ -1041,7 +1220,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 str(owner[key] + 1),
             ]
         )
-    what = "inference sweep" if mode == "inference" else "sweep"
+    what = _sweep_noun(mode)
     print(
         render_table(
             (axis_names or ["dataset"]) + ["cost", "source", "shard"],
@@ -1083,8 +1262,11 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     semantics (see :func:`_dedupe_manifest_lines`): a ``--resume``-healed
     failure or a re-run under edited simulation source survives as its
     freshest line only.  After deduping, the surviving lines must agree on
-    ``sim_code`` and sweep kind; mixed winners are rejected -- unioning
-    them would silently mix incomparable rows into one table.
+    ``sim_code``; mixed winners are rejected -- unioning them would
+    silently mix stale rows into one table.  Mixed sweep *kinds* merge
+    fine: lines dedupe per ``(kind, cache_key)``, so one manifest can hold
+    the compare, inference, and serving measurements of the same sweep
+    side by side (``repro report`` renders one table per kind).
     """
     from .experiments import scenario_key
 
@@ -1125,20 +1307,12 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     # shard resumed after a simulator edit re-ran everything and appended
     # fresh lines) must not poison an otherwise-consistent merge.
     sim_codes = {best[key].get("sim_code") for key in order}
-    kinds = {kind for kind, _ in order}
+    kinds = sorted({kind for kind, _ in order})
     if len(sim_codes) > 1:
         print(
             "refusing to merge manifests recorded under different simulation "
             f"source: sim_code {sorted(map(repr, sim_codes))}; re-run the "
             "stale shards (or --resume them) instead",
-            file=sys.stderr,
-        )
-        return 2
-    if len(kinds) > 1:
-        print(
-            "refusing to merge manifests of different sweep kinds: "
-            f"{sorted(kinds)} (compare and inference tables are not "
-            "comparable)",
             file=sys.stderr,
         )
         return 2
@@ -1155,11 +1329,12 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             # leaves a prefix of durable lines, never a buffered torso.
             fh.flush()
     errors = sum(not _line_is_success(best[key]) for key in order)
+    kinds_note = f", kinds: {'+'.join(kinds)}" if len(kinds) > 1 else ""
     print(
         f"merged {len(inputs)} manifest(s) -> {out}: {len(order)} scenarios "
         f"({len(order) - errors} ok, {errors} failed; "
         f"{collapsed} duplicate line(s) dropped, {skipped} unparseable "
-        "line(s) skipped)"
+        f"line(s) skipped{kinds_note})"
     )
     return 0
 
@@ -1192,33 +1367,6 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not entries:
         print(f"no parseable result lines in {path}", file=sys.stderr)
         return 2
-    kinds = {result.kind for result in entries}
-    if len(kinds) > 1:
-        print(
-            f"manifest mixes sweep kinds {sorted(kinds)}; merge rejects this "
-            "-- regenerate it",
-            file=sys.stderr,
-        )
-        return 2
-    mode = kinds.pop()
-    axis_names = _infer_axes([result.scenario for result in entries])
-    from .experiments import read_axis
-
-    rows = []
-    failures = 0
-    for result in entries:
-        cells = []
-        for name in axis_names:
-            try:
-                cells.append(str(read_axis(result.scenario, name)))
-            except Exception:
-                cells.append("?")
-        rows.append(
-            cells
-            + _metric_cells(result)
-            + [_duration_cell(result), _provenance(result), str(result.worker_pid)]
-        )
-        failures += result.error is not None
     if skipped:
         print(f"note: skipped {skipped} unparseable manifest line(s)", file=sys.stderr)
     if collapsed:
@@ -1226,18 +1374,63 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"note: collapsed {collapsed} superseded manifest line(s)",
             file=sys.stderr,
         )
-    title = (
-        f"scenario sweep ({len(rows)} scenarios, from {path.name})"
-        if mode == "compare"
-        else f"inference sweep ({len(rows)} scenarios, from {path.name})"
-    )
-    print(
-        render_table(
-            axis_names + [_metric_header(mode), "speedup", "wall (s)", "training", "pid"],
-            rows,
-            title=title,
+
+    from .experiments import read_axis
+    from .sim.results import geomean
+
+    # One table per sweep kind, in first-appearance order: a merged
+    # manifest can carry the compare, inference, and serving measurements
+    # of the same sweep side by side.
+    by_kind: dict[str, list] = {}
+    for result in entries:
+        by_kind.setdefault(result.kind, []).append(result)
+
+    failures = 0
+    first = True
+    for mode, group in by_kind.items():
+        if not first:
+            print()
+        first = False
+        axis_names = _infer_axes([result.scenario for result in group])
+        rows = []
+        speedups = []
+        for result in group:
+            cells = []
+            for name in axis_names:
+                try:
+                    cells.append(str(read_axis(result.scenario, name)))
+                except Exception:
+                    cells.append("?")
+            rows.append(
+                cells
+                + _metric_cells(result)
+                + [_duration_cell(result), _provenance(result), str(result.worker_pid)]
+            )
+            failures += result.error is not None
+            try:
+                speedups.append(result.payload.speedup("booster"))
+            except Exception:
+                pass  # failed scenario, missing system, or degenerate timing
+        title = (
+            f"scenario sweep ({len(rows)} scenarios, from {path.name})"
+            if mode == "compare"
+            else f"{_sweep_noun(mode)} ({len(rows)} scenarios, from {path.name})"
         )
-    )
+        print(
+            render_table(
+                axis_names + _metric_headers(mode) + ["wall (s)", "training", "pid"],
+                rows,
+                title=title,
+            )
+        )
+        # Guarded: a manifest whose rows all failed (or lack the booster
+        # system) has nothing to aggregate -- that is a note, not a
+        # geomean-of-empty traceback.
+        if speedups:
+            print(
+                f"geomean booster speedup: {geomean(speedups):.2f}x "
+                f"over {len(speedups)}/{len(group)} scenario(s)"
+            )
     durations = [r.duration_s for r in entries if r.duration_s is not None]
     if durations:
         print(
@@ -1280,6 +1473,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 keys.add(scenario.train_key())
                 keys.add(result_store_key(scenario, "compare"))
                 keys.add(result_store_key(scenario, "inference"))
+                keys.add(result_store_key(scenario, "serving"))
         except (KeyError, ValueError) as exc:
             print(exc.args[0] if exc.args else exc, file=sys.stderr)
             return 2

@@ -47,7 +47,7 @@ from .pipeline import (
     train_scenario,
     train_scenario_tracked,
 )
-from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, cost_overrides_from
+from .scenario import DEFAULT_SYSTEMS, ScenarioSpec, ServingParams, cost_overrides_from
 from .schedule import (
     BALANCE_MODES,
     ShardPlan,
@@ -71,6 +71,7 @@ from .steal import (
 from .runner import (
     AXIS_NAMES,
     CANONICAL_AXES,
+    SERVING_AXIS_NAMES,
     SWEEP_MODES,
     SweepResult,
     SweepRunner,
@@ -99,8 +100,10 @@ __all__ = [
     "LeaseLost",
     "ProfileCache",
     "ResultStore",
+    "SERVING_AXIS_NAMES",
     "SWEEP_MODES",
     "ScenarioSpec",
+    "ServingParams",
     "ShardPlan",
     "SweepResult",
     "SweepRunner",

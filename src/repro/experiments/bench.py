@@ -45,6 +45,7 @@ from ..datasets import dataset_spec, generate
 from ..gbdt import TrainParams, train_level_wise
 from ..gbdt.levelwise import LevelWiseTrainer
 from ..memory.dram import DRAMSimulator
+from ..serving.stats import percentile, percentile_label
 from .cache import sim_fingerprint
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "validate_bench", "write_bench"]
@@ -70,14 +71,21 @@ _FULL_DRAM_N = 120_000
 _QUICK_DRAM_N = 8_000
 
 
-def _percentiles(durations: list[float]) -> tuple[float, float]:
-    arr = np.asarray(durations, dtype=np.float64)
-    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
-
-
 def _timing(durations: list[float]) -> dict:
-    p50, p99 = _percentiles(durations)
-    return {"durations_s": durations, "p50_s": p50, "p99_s": p99}
+    """Percentile summary of one timing side, honestly labeled.
+
+    Shares the serving layer's linearly-interpolated percentile helper.
+    With the bench's usual handful of repeats an interior p99 estimate is
+    unsupportable (that needs ~100 samples), so ``p99_s`` is effectively
+    the sample max; ``p99_label`` says so (``p99~max(n=3)``) instead of
+    letting readers of committed trajectories over-trust the tail.
+    """
+    return {
+        "durations_s": durations,
+        "p50_s": percentile(durations, 50),
+        "p99_s": percentile(durations, 99),
+        "p99_label": percentile_label(99, len(durations)),
+    }
 
 
 def _cell(cell_id: str, kind: str, params: dict, vec: list[float], ref: list[float]) -> dict:
@@ -355,6 +363,10 @@ def _check_timing(cell_id: str, side: str, timing: object, repeats: int) -> None
         value = timing.get(key)
         if not isinstance(value, float) or value < 0:
             _fail(f"cell {cell_id}: {side}.{key} must be a non-negative float")
+    # Optional (absent from documents committed before the label existed).
+    label = timing.get("p99_label")
+    if label is not None and not isinstance(label, str):
+        _fail(f"cell {cell_id}: {side}.p99_label must be a string when present")
 
 
 def validate_bench(doc: object) -> None:

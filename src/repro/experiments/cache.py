@@ -174,10 +174,10 @@ def sim_fingerprint() -> str:
     """
     global _SIM_FINGERPRINT
     if _SIM_FINGERPRINT is None:
-        from .. import baselines, core, datasets, gbdt, memory, sim
+        from .. import baselines, core, datasets, gbdt, memory, serving, sim
 
         _SIM_FINGERPRINT = _hash_packages(  # repro: noqa RPR104 -- per-process memo of a content hash; every process computes the identical value
-            gbdt, datasets, baselines, core, memory, sim
+            gbdt, datasets, baselines, core, memory, serving, sim
         )
     return _SIM_FINGERPRINT
 

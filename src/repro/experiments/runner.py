@@ -37,11 +37,12 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 if TYPE_CHECKING:  # annotation-only: keep the lease machinery a lazy import
     from .steal import Coordinator
 
+from ..serving.result import ServingResult
 from ..sim.calibrate import CostModel
 from ..sim.results import ComparisonResult, InferenceResult
 from .cache import CACHE_VERSION, ProfileCache, ResultStore, default_cache, sim_fingerprint
 from .pipeline import is_trained
-from .scenario import _COST_FIELD_NAMES, ScenarioSpec
+from .scenario import _COST_FIELD_NAMES, ScenarioSpec, ServingParams
 
 __all__ = [
     "AXIS_NAMES",
@@ -62,10 +63,12 @@ __all__ = [
 ]
 
 #: What a sweep measures per scenario: the training-time comparison (the
-#: Fig. 7 workhorse) or the batch-inference comparison (Fig. 13).  Each mode
-#: stores its payload under its own :func:`result_store_key` namespace, so
-#: the two kinds of results coexist in one ``ResultStore`` directory.
-SWEEP_MODES = ("compare", "inference")
+#: Fig. 7 workhorse), the batch-inference comparison (Fig. 13), or the
+#: traffic-driven serving simulation (arrival trace -> latency tail).  Each
+#: mode stores its payload under its own :func:`result_store_key` namespace
+#: (``s``/``i``/``v``), so all kinds of results coexist in one
+#: ``ResultStore`` directory.
+SWEEP_MODES = ("compare", "inference", "serving")
 
 _SCENARIO_AXES = {
     "dataset": "dataset",
@@ -94,9 +97,25 @@ _BOOSTER_AXES = {
     "sram_bytes": "sram_bytes",
     "clock_ghz": "clock_ghz",
 }
+_SERVING_AXES = {
+    "arrival_qps": "qps",
+    "qps": "qps",
+    "arrival": "arrival",
+    "policy": "policy",
+    "max_batch": "max_batch",
+    "batch_timeout_ms": "timeout_ms",
+    "queue": "queue",
+    "serve_duration": "duration_s",
+    "records_per_request": "records_per_request",
+}
 
 #: Alternate CLI spellings, canonicalized for duplicate detection.
-_AXIS_ALIASES = {"trees": "n_trees", "records": "sim_records", "scale": "extra_scale"}
+_AXIS_ALIASES = {
+    "trees": "n_trees",
+    "records": "sim_records",
+    "scale": "extra_scale",
+    "qps": "arrival_qps",
+}
 
 #: Axes (and int-typed cost fields) that must receive integral values.
 _INT_AXES = {
@@ -112,8 +131,14 @@ _INT_AXES = {
     "bus_per_cluster",
     "sram_bytes",
     "n_bus",
+    "max_batch",
+    "records_per_request",
 }
 _INT_AXES |= {f.name for f in dc_fields(CostModel) if f.type == "int"}
+
+#: Axes whose values are names rather than numbers (every other axis
+#: rejects strings early, before they reach validation/cost math).
+_STRING_AXES = {"dataset", "arrival", "policy", "queue"}
 
 #: Axis name -> target field, derived from the routing tables above so the
 #: two can never drift.  Any :class:`CostModel` field name is also a valid
@@ -123,8 +148,14 @@ AXIS_NAMES = {
     **{k: f"train.{v}" for k, v in _TRAIN_AXES.items()},
     **{k: f"train.split.{v}" for k, v in _SPLIT_AXES.items()},
     **{k: f"booster.{v}" for k, v in _BOOSTER_AXES.items()},
+    **{k: f"serving.{v}" for k, v in _SERVING_AXES.items()},
     "n_bus": "booster.n_clusters (derived: n_bus / bus_per_cluster)",
 }
+
+#: Axes that route into :class:`ServingParams` (the CLI refuses them on a
+#: sweep that is not ``--serve``: varying a serving knob changes scenario
+#: keys without changing a training/inference measurement).
+SERVING_AXIS_NAMES = frozenset(_SERVING_AXES)
 
 #: Canonical axis names in declaration order (aliases removed) -- what
 #: ``parse_axis_specs`` produces and what consumers that enumerate axes
@@ -135,9 +166,10 @@ CANONICAL_AXES = tuple(k for k in AXIS_NAMES if k not in _AXIS_ALIASES)
 
 def apply_axis(scenario: ScenarioSpec, name: str, value: object) -> ScenarioSpec:
     """Return ``scenario`` with one axis set to ``value``."""
-    if name != "dataset" and isinstance(value, str):
-        # Every axis but the dataset name is numeric; reject early with a
-        # clean message instead of a TypeError deep in validation/cost math.
+    if name not in _STRING_AXES and isinstance(value, str):
+        # Every axis but the handful of name-valued ones is numeric; reject
+        # early with a clean message instead of a TypeError deep in
+        # validation/cost math.
         raise ValueError(f"axis {name!r} needs a numeric value, got {value!r}")
     if name in _INT_AXES:
         if not math.isfinite(value) or float(value) != int(value):
@@ -152,6 +184,13 @@ def apply_axis(scenario: ScenarioSpec, name: str, value: object) -> ScenarioSpec
         return replace(scenario, train=replace(scenario.train, split=split))
     if name in _BOOSTER_AXES:
         return replace(scenario, booster=replace(scenario.booster, **{_BOOSTER_AXES[name]: value}))
+    if name in _SERVING_AXES:
+        # A serving axis on a compare/inference-shaped scenario implies the
+        # serving defaults for the rest of the knobs.
+        serving = scenario.serving or ServingParams()
+        return replace(
+            scenario, serving=replace(serving, **{_SERVING_AXES[name]: value})
+        )
     if name == "n_bus":
         per = scenario.booster.bus_per_cluster
         if value % per:
@@ -195,6 +234,8 @@ def read_axis(scenario: ScenarioSpec, name: str) -> object:
         return getattr(scenario.train.split, _SPLIT_AXES[name])
     if name in _BOOSTER_AXES:
         return getattr(scenario.booster, _BOOSTER_AXES[name])
+    if name in _SERVING_AXES:
+        return getattr(scenario.serving or ServingParams(), _SERVING_AXES[name])
     if name == "n_bus":
         return scenario.booster.n_bus
     if name in _COST_FIELD_NAMES:
@@ -267,8 +308,9 @@ class SweepResult:
 
     ``kind`` says what was measured: a ``"compare"`` result carries a
     ``comparison`` (training times), an ``"inference"`` result carries an
-    ``inference`` payload (batch-inference times); exactly one of the
-    payload/``error`` fields is set.  A failed scenario is a first-class
+    ``inference`` payload (batch-inference times), a ``"serving"`` result
+    carries a ``serving`` payload (latency-tail statistics under a
+    traffic trace); exactly one of the payload/``error`` fields is set.  A failed scenario is a first-class
     result (streamed, serialized into manifests) rather than an exception
     that aborts the sweep; ``stored=True`` marks a result served from the
     persistent :class:`ResultStore` (zero training *and* zero simulation in
@@ -291,15 +333,20 @@ class SweepResult:
     inference: InferenceResult | None = None  # set in "inference" mode
     kind: str = "compare"  # which SWEEP_MODES measurement this is
     duration_s: float | None = None  # wall seconds of the original execution
+    serving: ServingResult | None = None  # set in "serving" mode
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
     @property
-    def payload(self) -> ComparisonResult | InferenceResult | None:
-        """The mode's measurement (``comparison`` or ``inference``)."""
-        return self.inference if self.kind == "inference" else self.comparison
+    def payload(self) -> ComparisonResult | InferenceResult | ServingResult | None:
+        """The mode's measurement (``comparison``/``inference``/``serving``)."""
+        if self.kind == "inference":
+            return self.inference
+        if self.kind == "serving":
+            return self.serving
+        return self.comparison
 
     @property
     def booster_speedup(self) -> float:
@@ -321,6 +368,7 @@ class SweepResult:
             "scenario": self.scenario.to_dict(),
             "comparison": None if self.comparison is None else self.comparison.to_dict(),
             "inference": None if self.inference is None else self.inference.to_dict(),
+            "serving": None if self.serving is None else self.serving.to_dict(),
             "cache_hit": self.cache_hit,
             "stored": self.stored,
             "worker_pid": self.worker_pid,
@@ -332,6 +380,7 @@ class SweepResult:
     def from_dict(cls, d: dict) -> "SweepResult":
         comparison = d.get("comparison")
         inference = d.get("inference")
+        serving = d.get("serving")
         duration = d.get("duration_s")  # absent in pre-duration manifests
         return cls(
             scenario=ScenarioSpec.from_dict(d["scenario"]),
@@ -343,6 +392,7 @@ class SweepResult:
             inference=None if inference is None else InferenceResult.from_dict(inference),
             kind=d.get("kind", "compare"),
             duration_s=None if duration is None else float(duration),
+            serving=None if serving is None else ServingResult.from_dict(serving),
         )
 
 
@@ -377,13 +427,16 @@ def result_store_key(scenario: ScenarioSpec, mode: str = "compare") -> str:
     """The :class:`ResultStore` key for one scenario in one sweep mode.
 
     Compare results live directly under ``cache_key()`` (``s...``, the PR-2
-    layout); inference results get their own ``i...`` namespace so both
-    measurements of the same scenario coexist in one store directory.
+    layout); inference results get their own ``i...`` namespace and serving
+    results a ``v...`` namespace, so every measurement of the same scenario
+    coexists in one store directory.
     """
     if mode not in SWEEP_MODES:
         raise ValueError(f"unknown sweep mode {mode!r}; known: {list(SWEEP_MODES)}")
     key = scenario.cache_key()
-    return key if mode == "compare" else "i" + key[1:]
+    if mode == "compare":
+        return key
+    return ("i" if mode == "inference" else "v") + key[1:]
 
 
 def parse_shard_spec(text: str) -> tuple[int, int]:
@@ -491,7 +544,9 @@ def run_scenario(
 
     ``mode`` selects the measurement: ``"compare"`` times training on every
     scenario system (the Fig. 7 table), ``"inference"`` times the batch
-    inference pass (Fig. 13).  Completed scenarios are served from
+    inference pass (Fig. 13), ``"serving"`` replays a traffic trace through
+    the batching queue and reports the latency tail.  Completed scenarios
+    are served from
     ``results`` (a :class:`ResultStore` sharing the profile cache's
     directory by default) without retraining or re-simulating; fresh
     executions are stored back for the next run, each mode under its own
@@ -509,12 +564,20 @@ def run_scenario(
         return stored
     start = time.perf_counter()
     executor = Executor.from_scenario(scenario, cache=cache)
-    comparison = inference = None
+    comparison = inference = serving = None
     if mode == "inference":
         inference = executor.inference(
             scenario.dataset,
             systems=list(scenario.systems),
             extra_scale=scenario.extra_scale,
+        )
+    elif mode == "serving":
+        serving = executor.serve(
+            scenario.dataset,
+            serving=scenario.serving,
+            systems=list(scenario.systems),
+            extra_scale=scenario.extra_scale,
+            seed=scenario.seed,
         )
     else:
         comparison = executor.compare(
@@ -530,6 +593,7 @@ def run_scenario(
         inference=inference,
         kind=mode,
         duration_s=time.perf_counter() - start,
+        serving=serving,
     )
     results.put(
         result_store_key(scenario, mode),

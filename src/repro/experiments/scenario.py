@@ -35,9 +35,10 @@ from dataclasses import asdict, dataclass, field, fields as dc_fields, replace
 from ..core.config import BoosterConfig
 from ..gbdt.split import SplitParams
 from ..gbdt.trainer import TrainParams
+from ..serving.params import ServingParams
 from ..sim.calibrate import DEFAULT_COSTS, CostModel
 
-__all__ = ["DEFAULT_SYSTEMS", "ScenarioSpec", "cost_overrides_from"]
+__all__ = ["DEFAULT_SYSTEMS", "ScenarioSpec", "ServingParams", "cost_overrides_from"]
 
 #: Systems compared when a scenario does not name its own subset (the Fig. 7
 #: headline set, matching ``Executor.compare``'s default).
@@ -94,9 +95,12 @@ class ScenarioSpec:
     extra_scale: float = 1.0
     scale_to_paper: bool = True
     systems: tuple[str, ...] = DEFAULT_SYSTEMS
+    serving: ServingParams | None = None
 
     def __post_init__(self) -> None:
         # Normalize list inputs (e.g. straight from JSON) to hashable tuples.
+        if isinstance(self.serving, dict):
+            object.__setattr__(self, "serving", ServingParams.from_dict(self.serving))
         object.__setattr__(
             self,
             "cost_overrides",
@@ -165,8 +169,13 @@ class ScenarioSpec:
         automatically enters the serialization -- and therefore the cache
         keys.  Hand-enumerating fields here would reintroduce the silent
         stale-key bug this layer exists to fix.
+
+        ``serving`` is OMITTED entirely when unset (the training/compare
+        default): every pre-serving scenario keeps its exact serialized
+        form, and therefore its exact cache key -- adding the serving layer
+        must not orphan a single stored result or manifest line.
         """
-        return {
+        d = {
             "dataset": self.dataset,
             "sim_records": self.sim_records,
             "seed": self.seed,
@@ -177,6 +186,9 @@ class ScenarioSpec:
             "scale_to_paper": self.scale_to_paper,
             "systems": list(self.systems),
         }
+        if self.serving is not None:
+            d["serving"] = self.serving.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ScenarioSpec":
@@ -194,6 +206,8 @@ class ScenarioSpec:
             kwargs["systems"] = tuple(d["systems"])
         if "cost_overrides" in d:
             kwargs["cost_overrides"] = tuple((k, v) for k, v in d["cost_overrides"])
+        if d.get("serving") is not None:
+            kwargs["serving"] = ServingParams.from_dict(d["serving"])
         return cls(train=train, booster=BoosterConfig(**d.get("booster", {})), **kwargs)
 
     def to_json(self) -> str:
@@ -230,9 +244,19 @@ class ScenarioSpec:
         return _digest(payload, "t")
 
     def cache_key(self) -> str:
-        """Content hash identifying the full scenario (stable across runs)."""
+        """Content hash identifying the full scenario (stable across runs).
+
+        For trace-replay serving scenarios, ``trace_path`` is dropped from
+        the hashed payload: the experiment's identity is the trace
+        *content* (``trace_sha``), so the same trace at a different path --
+        or on a different host -- keys identically, while an edited trace
+        misses.
+        """
         from .cache import CACHE_VERSION
 
         payload = {"version": CACHE_VERSION, "scenario": self.to_dict()}
         payload["scenario"]["sim_records"] = self.resolved_records()
+        serving = payload["scenario"].get("serving")
+        if isinstance(serving, dict):
+            serving.pop("trace_path", None)
         return _digest(payload, "s")

@@ -1,0 +1,176 @@
+"""Arrival-trace generation and replay for the serving simulator.
+
+Two synthetic generators (homogeneous Poisson and diurnal-modulated
+Poisson via thinning) plus a JSONL trace replay.  Generation is driven
+entirely by a caller-seeded :func:`numpy.random.default_rng` stream, so the
+same seed and parameters reproduce the identical trace in any process --
+the determinism the content-keyed result store depends on.
+
+Recorded traces are one JSON object per line::
+
+    {"t": 0.0125}
+    {"t": 0.0131, "priority": 2}
+
+``t`` is the arrival time in seconds (any origin; the simulator works with
+differences), ``priority`` is optional (default 0; lower is served first
+under the ``priority`` queue discipline).  :func:`trace_digest` hashes the
+file *content*, which is what scenario cache keys record -- moving a trace
+file does not change the experiment, editing it does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .params import ServingParams
+
+__all__ = [
+    "build_arrivals",
+    "diurnal_times",
+    "load_trace",
+    "poisson_times",
+    "trace_digest",
+]
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+
+
+def poisson_times(qps: float, duration_s: float, rng: np.random.Generator) -> FloatArray:
+    """Arrival times of a rate-``qps`` Poisson process on ``[0, duration_s)``.
+
+    Exponential inter-arrival gaps, drawn in vectorized chunks sized to
+    overshoot the expected count; the cumulative sum is truncated at the
+    horizon.  Sorted, possibly empty (a thin load over a short horizon can
+    legitimately draw zero arrivals).
+    """
+    if qps <= 0 or duration_s <= 0:
+        raise ValueError("qps and duration_s must be positive")
+    expected = qps * duration_s
+    chunk = int(expected + 6.0 * math.sqrt(expected + 1.0)) + 16
+    times = np.empty(0, dtype=np.float64)
+    while times.size == 0 or times[-1] < duration_s:
+        gaps = rng.exponential(1.0 / qps, size=chunk)
+        start = float(times[-1]) if times.size else 0.0
+        times = np.concatenate([times, start + np.cumsum(gaps)])
+    return times[times < duration_s]
+
+
+def diurnal_times(
+    qps: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    amplitude: float = 0.5,
+    periods: float = 1.0,
+) -> FloatArray:
+    """Inhomogeneous Poisson arrivals with a diurnal rate profile.
+
+    The rate is ``qps * (1 - amplitude * cos(2*pi*periods*t/duration))``:
+    mean ``qps`` over a whole number of cycles, trough at t=0, peak
+    ``qps * (1 + amplitude)`` mid-cycle.  Sampled by thinning a
+    homogeneous process at the peak rate, the textbook exact method for
+    inhomogeneous Poisson streams.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError(f"amplitude must lie in [0, 1), got {amplitude!r}")
+    peak = qps * (1.0 + amplitude)
+    candidates = poisson_times(peak, duration_s, rng)
+    if candidates.size == 0:
+        return candidates
+    rate = qps * (1.0 - amplitude * np.cos(2.0 * np.pi * periods * candidates / duration_s))
+    keep = rng.random(candidates.size) < rate / peak
+    return candidates[keep]
+
+
+def trace_digest(path: str) -> str:
+    """Content digest of a trace file (what scenario cache keys record)."""
+    p = Path(path)
+    if not p.is_file():
+        raise ValueError(f"no such trace file: {path}")
+    return hashlib.sha256(p.read_bytes()).hexdigest()[:20]
+
+
+def load_trace(path: str) -> tuple[FloatArray, IntArray]:
+    """Parse a JSONL arrival trace into ``(times, priorities)`` arrays.
+
+    Lines must be JSON objects with a finite, non-negative ``t`` (seconds)
+    and an optional integer ``priority``; blank lines are tolerated, any
+    other malformation raises with the offending line number.  Arrivals
+    are returned sorted by time (stable, so equal-time requests keep file
+    order).
+    """
+    p = Path(path)
+    if not p.is_file():
+        raise ValueError(f"no such trace file: {path}")
+    times: list[float] = []
+    priorities: list[int] = []
+    for lineno, line in enumerate(p.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d: Any = json.loads(line)
+        except Exception:
+            raise ValueError(f"{path}:{lineno}: not valid JSON") from None
+        if not isinstance(d, dict) or "t" not in d:
+            raise ValueError(f'{path}:{lineno}: expected an object with a "t" field')
+        t = d["t"]
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or not (
+            math.isfinite(t) and t >= 0
+        ):
+            raise ValueError(
+                f'{path}:{lineno}: "t" must be a finite, non-negative number, got {t!r}'
+            )
+        priority = d.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ValueError(
+                f'{path}:{lineno}: "priority" must be an integer, got {priority!r}'
+            )
+        times.append(float(t))
+        priorities.append(priority)
+    t_arr = np.asarray(times, dtype=np.float64)
+    p_arr = np.asarray(priorities, dtype=np.int64)
+    order = np.argsort(t_arr, kind="stable")
+    return t_arr[order], p_arr[order]
+
+
+def build_arrivals(params: ServingParams, seed: int) -> tuple[FloatArray, IntArray]:
+    """The arrival trace for one scenario: ``(times, priorities)``.
+
+    Generated arrivals carry priority 0 everywhere (the ``priority``
+    discipline then degenerates to FIFO, documented behavior); recorded
+    traces replay their own priorities.  When ``params.trace_sha`` is
+    pinned, the file on disk must still match it -- a trace edited after
+    the scenario was keyed is an error, not a silent different experiment.
+    """
+    if params.arrival == "trace":
+        if params.trace_path is None:
+            raise ValueError("arrival='trace' scenario has no trace_path to replay")
+        if params.trace_sha is not None:
+            actual = trace_digest(params.trace_path)
+            if actual != params.trace_sha:
+                raise ValueError(
+                    f"trace {params.trace_path} content digest {actual} does not "
+                    f"match the scenario's recorded trace_sha {params.trace_sha}; "
+                    "the file changed since the scenario was keyed"
+                )
+        return load_trace(params.trace_path)
+    rng = np.random.default_rng(seed)
+    if params.arrival == "diurnal":
+        times = diurnal_times(
+            params.qps,
+            params.duration_s,
+            rng,
+            amplitude=params.diurnal_amplitude,
+            periods=params.diurnal_periods,
+        )
+    else:
+        times = poisson_times(params.qps, params.duration_s, rng)
+    return times, np.zeros(times.size, dtype=np.int64)

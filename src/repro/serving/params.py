@@ -1,0 +1,116 @@
+"""Declarative description of one offered serving load.
+
+A :class:`ServingParams` is the serving-side half of a scenario: how
+requests arrive (generator or recorded trace), how the server batches them,
+and how the queue orders them.  It is frozen and JSON-round-trippable so it
+can ride inside :class:`~repro.experiments.scenario.ScenarioSpec` and
+participate in the content-derived cache keys -- with one deliberate
+exception: ``trace_path`` is *where* a recorded trace lives on this host,
+not *what* it contains, so scenario keys hash ``trace_sha`` (the trace
+content digest) and drop the path (see ``ScenarioSpec.cache_key``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields as dc_fields
+from typing import Any
+
+__all__ = ["ARRIVAL_KINDS", "POLICIES", "QUEUE_DISCIPLINES", "ServingParams"]
+
+#: How requests arrive: a homogeneous Poisson process, a diurnal-modulated
+#: (inhomogeneous) Poisson process, or a recorded JSONL trace replay.
+ARRIVAL_KINDS = ("poisson", "diurnal", "trace")
+
+#: How the server forms batches: one request per batch, greedy up to
+#: ``max_batch`` whenever the server frees, or a timeout-T microbatch
+#: window that waits up to ``timeout_ms`` for the batch to fill.
+POLICIES = ("immediate", "batch", "timeout")
+
+#: How queued requests are ordered: arrival order, or by the trace's
+#: ``priority`` field (lower value served first; ties by arrival).
+QUEUE_DISCIPLINES = ("fifo", "priority")
+
+
+@dataclass(frozen=True)
+class ServingParams:
+    """One offered load: arrival process x batching policy x queue model.
+
+    ``qps``/``duration_s`` parameterize the generators (``trace`` replays
+    ignore them for arrival times but keep ``qps`` as the nominal offered
+    rate where recorded); ``diurnal_amplitude`` in ``[0, 1)`` modulates the
+    rate as ``qps * (1 - amplitude * cos(2*pi*periods*t/duration))`` --
+    mean ``qps``, peak ``qps * (1 + amplitude)``; ``records_per_request``
+    sets how much inference work one request carries.
+    """
+
+    arrival: str = "poisson"
+    qps: float = 200.0
+    duration_s: float = 5.0
+    policy: str = "batch"
+    max_batch: int = 32
+    timeout_ms: float = 2.0
+    queue: str = "fifo"
+    records_per_request: int = 1
+    diurnal_amplitude: float = 0.5
+    diurnal_periods: float = 1.0
+    trace_path: str | None = None
+    trace_sha: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.arrival!r}; known: {list(ARRIVAL_KINDS)}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown batching policy {self.policy!r}; known: {list(POLICIES)}"
+            )
+        if self.queue not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"unknown queue discipline {self.queue!r}; "
+                f"known: {list(QUEUE_DISCIPLINES)}"
+            )
+        for name in ("qps", "duration_s"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not math.isfinite(value) or value <= 0:
+                raise ValueError(f"{name} needs a finite, positive value, got {value!r}")
+        if not isinstance(self.timeout_ms, (int, float)) or not (
+            math.isfinite(self.timeout_ms) and self.timeout_ms >= 0
+        ):
+            raise ValueError(
+                f"timeout_ms needs a finite, non-negative value, got {self.timeout_ms!r}"
+            )
+        for name in ("max_batch", "records_per_request"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(f"{name} needs a positive integer, got {value!r}")
+        if not isinstance(self.diurnal_amplitude, (int, float)) or not (
+            math.isfinite(self.diurnal_amplitude) and 0 <= self.diurnal_amplitude < 1
+        ):
+            raise ValueError(
+                f"diurnal_amplitude must lie in [0, 1), got {self.diurnal_amplitude!r}"
+            )
+        if not isinstance(self.diurnal_periods, (int, float)) or not (
+            math.isfinite(self.diurnal_periods) and self.diurnal_periods > 0
+        ):
+            raise ValueError(
+                f"diurnal_periods needs a finite, positive value, "
+                f"got {self.diurnal_periods!r}"
+            )
+        if self.arrival == "trace" and self.trace_path is None and self.trace_sha is None:
+            raise ValueError(
+                "arrival='trace' needs trace_path (and trace_sha for a "
+                "content-stable scenario key)"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form; ``from_dict`` round-trips it exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ServingParams":
+        # Missing keys fall back to the field defaults, so params written
+        # by an older repro keep loading after new knobs are added.
+        names = {f.name for f in dc_fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in names})

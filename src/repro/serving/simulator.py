@@ -1,0 +1,157 @@
+"""Single-server discrete-event loop: arrivals x batching policy x queue.
+
+The server is the accelerator (or baseline) running batch inference: at
+any moment it is either idle or executing one batch whose cost comes from
+the caller's ``service_seconds(n_records)`` function (in practice a
+memoized :meth:`~repro.baselines.base.HardwareModel.inference_seconds`
+over :meth:`~repro.gbdt.workprofile.InferenceWork.scaled` work).  Requests
+queue while it is busy; the batching policy decides when the next batch
+launches and how many queued requests it takes:
+
+* ``immediate`` -- one request per batch, launched as soon as the server
+  is free and a request is waiting;
+* ``batch`` -- greedy max-batch-N: when the server frees, take up to
+  ``max_batch`` of the requests already waiting;
+* ``timeout`` -- microbatching: once the server is free and the
+  next-to-be-served request is waiting, hold the batch open up to
+  ``timeout_s`` for it to fill to ``max_batch``, then launch.
+
+The queue discipline orders the pool: ``fifo`` by arrival, ``priority``
+by the trace's priority value (lower first; ties by arrival).  Everything
+is a pure function of its inputs -- no randomness, no wall clock -- so
+identical inputs give bit-identical outputs in any process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from numpy.typing import NDArray
+
+from .params import POLICIES, QUEUE_DISCIPLINES
+
+__all__ = ["QueueTrace", "simulate"]
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+
+
+@dataclass
+class QueueTrace:
+    """Raw outcome of one simulated system: per-request latencies plus the
+    queue/batch telemetry the summary statistics are computed from.
+
+    ``latencies_s`` is indexed in arrival-time order (stable-sorted);
+    ``queue_depth`` samples ``(dispatch time, requests left waiting)`` at
+    every batch launch, the natural event grid of a single-server queue.
+    """
+
+    latencies_s: FloatArray
+    batch_sizes: list[int] = field(default_factory=list)
+    queue_depth: list[tuple[float, int]] = field(default_factory=list)
+    first_arrival_s: float = 0.0
+    last_finish_s: float = 0.0
+    max_queue_depth: int = 0
+
+
+def simulate(
+    times: FloatArray,
+    priorities: IntArray,
+    *,
+    policy: str,
+    max_batch: int,
+    timeout_s: float,
+    queue: str,
+    records_per_request: int,
+    service_seconds: Callable[[int], float],
+) -> QueueTrace:
+    """Replay one arrival trace through the single-server batch queue."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown batching policy {policy!r}; known: {list(POLICIES)}")
+    if queue not in QUEUE_DISCIPLINES:
+        raise ValueError(
+            f"unknown queue discipline {queue!r}; known: {list(QUEUE_DISCIPLINES)}"
+        )
+    if max_batch < 1 or records_per_request < 1:
+        raise ValueError("max_batch and records_per_request must be >= 1")
+    if not math.isfinite(timeout_s) or timeout_s < 0:
+        raise ValueError(f"timeout_s must be finite and >= 0, got {timeout_s!r}")
+    order = np.argsort(times, kind="stable")
+    ts = np.asarray(times, dtype=np.float64)[order]
+    ranks = np.asarray(priorities, dtype=np.int64)[order]
+    n = int(ts.size)
+    latencies = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return QueueTrace(latencies_s=latencies)
+
+    use_priority = queue == "priority"
+    cap = 1 if policy == "immediate" else max_batch
+    # Pool entries are (rank, arrival, index): heap order IS the service
+    # order -- FIFO collapses rank to 0, priority serves lower values first.
+    pool: list[tuple[int, float, int]] = []
+    i = 0
+    free_at = 0.0
+    max_depth = 0
+    batch_sizes: list[int] = []
+    depth_samples: list[tuple[float, int]] = []
+
+    def admit_until(t: float) -> int:
+        """Move every arrival at or before ``t`` into the pool."""
+        nonlocal i, max_depth
+        admitted = 0
+        while i < n and float(ts[i]) <= t:
+            rank = int(ranks[i]) if use_priority else 0
+            heapq.heappush(pool, (rank, float(ts[i]), i))
+            i += 1
+            admitted += 1
+        max_depth = max(max_depth, len(pool))
+        return admitted
+
+    while i < n or pool:
+        if not pool:
+            admit_until(float(ts[i]))  # idle server: jump to the next arrival
+            continue
+        # The batch window opens when the server is free AND the request it
+        # would serve first is waiting.
+        open_t = max(free_at, pool[0][1])
+        if admit_until(open_t):
+            continue  # new arrivals may change the (priority) head; recompute
+        dispatch_t = open_t
+        if policy == "timeout" and timeout_s > 0 and len(pool) < cap:
+            deadline = open_t + timeout_s
+            while i < n and len(pool) < cap and float(ts[i]) <= deadline:
+                t_next = float(ts[i])
+                admit_until(t_next)
+                dispatch_t = max(open_t, t_next)
+            if len(pool) < cap:
+                # The window expired unfilled; the server launches what it
+                # has at the deadline (it could not know nothing more was
+                # coming).
+                dispatch_t = deadline
+        k = min(cap, len(pool))
+        members = [heapq.heappop(pool) for _ in range(k)]
+        cost = float(service_seconds(k * records_per_request))
+        if not math.isfinite(cost) or cost <= 0:
+            raise ValueError(
+                f"service_seconds({k * records_per_request}) must be finite "
+                f"and positive, got {cost!r}"
+            )
+        done_t = dispatch_t + cost
+        for _, arrival, idx in members:
+            latencies[idx] = done_t - arrival
+        free_at = done_t
+        batch_sizes.append(k)
+        depth_samples.append((dispatch_t, len(pool)))
+
+    return QueueTrace(
+        latencies_s=latencies,
+        batch_sizes=batch_sizes,
+        queue_depth=depth_samples,
+        first_arrival_s=float(ts[0]),
+        last_finish_s=free_at,
+        max_queue_depth=max_depth,
+    )

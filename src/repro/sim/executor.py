@@ -41,6 +41,14 @@ from ..experiments.pipeline import benchmark_dataset, train_scenario_tracked
 from ..experiments.scenario import ScenarioSpec, cost_overrides_from
 from ..gbdt import EnsemblePredictor, TrainParams, TrainResult, WorkProfile
 from ..memory.profile import BandwidthProfile, bandwidth_profile
+from ..serving import (
+    ServingParams,
+    ServingResult,
+    ServingStats,
+    build_arrivals,
+    simulate,
+    summarize,
+)
 from .calibrate import DEFAULT_COSTS, CostModel
 from .results import ComparisonResult, InferenceResult
 
@@ -248,6 +256,86 @@ class Executor:
         names = systems or ["ideal-32-core", "booster"]
         seconds = {name: self._models[name].inference_seconds(work) for name in names}
         return InferenceResult(dataset=dataset, seconds=seconds)
+
+    def serve(
+        self,
+        dataset: str,
+        serving: ServingParams | None = None,
+        systems: list[str] | None = None,
+        extra_scale: float = 1.0,
+        seed: int | None = None,
+    ) -> ServingResult:
+        """Traffic-driven serving comparison: latency tail under a queue.
+
+        Replays one arrival trace (generated from ``serving``'s parameters
+        with ``seed``, or loaded from its recorded trace file) through the
+        single-server batching queue once per system.  Per-batch service
+        cost derives from the same paper-scale :class:`InferenceWork` the
+        Fig. 13 batch comparison prices -- ``inference_seconds`` over the
+        work scaled to the batch's exact record count (x ``extra_scale``,
+        mirroring :meth:`inference`) -- so the serving numbers and the batch
+        numbers share one cost model by construction.  Everything after
+        arrival generation is a pure function of its inputs; the same
+        scenario yields a bit-identical :class:`ServingResult` in any
+        process.
+        """
+        params = serving if serving is not None else ServingParams()
+        times, priorities = build_arrivals(params, self.seed if seed is None else seed)
+        result = self.train_result(dataset)
+        data = self.dataset(dataset)  # same memoized dataset training used
+        predictor = EnsemblePredictor(result.trees, result.base_margin, result.loss)
+        base = predictor.inference_work(data, n_trees_target=PAPER_TREES)
+        if params.arrival == "trace":
+            span = float(times[-1] - times[0]) if times.size > 1 else 0.0
+            offered = float(times.size / span) if span > 0 else float(times.size)
+        else:
+            offered = float(params.qps)
+        names = systems or ["ideal-32-core", "booster"]
+        cap = 1 if params.policy == "immediate" else params.max_batch
+        stats: dict[str, ServingStats] = {}
+        for name in names:
+            model = self._models[name]
+            memo: dict[int, float] = {}
+
+            def service_seconds(
+                n_records: int, _model: HardwareModel = model, _memo: dict[int, float] = memo
+            ) -> float:
+                # Batch sizes repeat constantly (the queue dispatches the
+                # same few sizes); memoize per (model, record count).
+                cost = _memo.get(n_records)
+                if cost is None:
+                    work = base.scaled(n_records * extra_scale / base.n_records)
+                    cost = float(_model.inference_seconds(work))
+                    _memo[n_records] = cost
+                return cost
+
+            # Best sustainable request rate over candidate batch sizes:
+            # batching amortizes fixed cost, so probe small/half/full.
+            candidates = sorted({1, max(1, cap // 2), cap})
+            capacity = max(
+                k / service_seconds(k * params.records_per_request) for k in candidates
+            )
+            trace = simulate(
+                times,
+                priorities,
+                policy=params.policy,
+                max_batch=params.max_batch,
+                timeout_s=params.timeout_ms / 1e3,
+                queue=params.queue,
+                records_per_request=params.records_per_request,
+                service_seconds=service_seconds,
+            )
+            stats[name] = summarize(trace, offered_qps=offered, capacity_qps=capacity)
+        baseline = "ideal-32-core" if "ideal-32-core" in stats else names[0]
+        return ServingResult(
+            dataset=dataset,
+            arrival=params.arrival,
+            policy=params.policy,
+            offered_qps=offered,
+            systems=stats,
+            baseline=baseline,
+            params=params.to_dict(),
+        )
 
     def all_datasets(self) -> tuple[str, ...]:
         return BENCHMARK_NAMES

@@ -15,7 +15,9 @@ from typing import TYPE_CHECKING, Iterable
 if TYPE_CHECKING:  # import would be circular at runtime (baselines uses sim)
     from ..baselines.base import StepTimes
 
-__all__ = ["geomean", "ComparisonResult", "InferenceResult"]
+from ..serving.result import ServingResult, ServingStats  # noqa: E402 -- re-export beside its siblings
+
+__all__ = ["geomean", "ComparisonResult", "InferenceResult", "ServingResult", "ServingStats"]
 
 
 def geomean(values: Iterable[float]) -> float:

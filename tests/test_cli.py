@@ -130,6 +130,10 @@ class TestCommands:
         "--systems", "ideal-32-core", "booster",
     ]
 
+    #: Appended to SWEEP_ARGV for serving-mode sweeps (short horizon so the
+    #: generated arrival traces stay small).
+    SERVE_ARGV = ["--serve", "--qps", "150", "--serve-duration", "1.0"]
+
     def test_sweep_out_writes_jsonl_manifest(self, capsys, monkeypatch, tmp_path):
         import json
 
@@ -464,15 +468,36 @@ class TestCommands:
         assert "sim_code" in capsys.readouterr().err
         assert not (tmp_path / "out.jsonl").exists()
 
-    def test_merge_rejects_mixed_kinds(self, capsys, monkeypatch, tmp_path):
+    def test_merge_accepts_mixed_kinds(self, capsys, monkeypatch, tmp_path):
+        """Compare/inference/serving manifests of one sweep merge side by
+        side: lines dedupe per (kind, cache_key), so the kinds never
+        collapse into each other, and `repro report` renders one table
+        per kind from the merged manifest."""
+        import json
+
         self._isolate_cache(monkeypatch, tmp_path)
         cmp_m = tmp_path / "cmp.jsonl"
         inf_m = tmp_path / "inf.jsonl"
+        srv_m = tmp_path / "srv.jsonl"
         assert main(self.SWEEP_ARGV + ["--out", str(cmp_m)]) == 0
         assert main(self.SWEEP_ARGV + ["--inference", "--out", str(inf_m)]) == 0
+        assert main(self.SWEEP_ARGV + self.SERVE_ARGV + ["--out", str(srv_m)]) == 0
         capsys.readouterr()
-        assert main(["merge", str(tmp_path / "out.jsonl"), str(cmp_m), str(inf_m)]) == 2
-        assert "kinds" in capsys.readouterr().err
+        out_m = tmp_path / "out.jsonl"
+        assert main(["merge", str(out_m), str(cmp_m), str(inf_m), str(srv_m)]) == 0
+        assert "kinds: compare+inference+serving" in capsys.readouterr().out
+        lines = [json.loads(x) for x in out_m.read_text().splitlines()]
+        assert {d["kind"] for d in lines} == {"compare", "inference", "serving"}
+        # Every line of every input survives: the kinds are different
+        # measurements of the same scenarios, not supersessions.
+        assert len(lines) == 6
+        capsys.readouterr()
+        assert main(["report", "--from-manifest", str(out_m)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario sweep" in out
+        assert "inference sweep" in out
+        assert "serving sweep" in out
+        assert "geomean booster speedup" in out
 
     def test_merge_missing_input(self, capsys, tmp_path):
         assert main(["merge", str(tmp_path / "out.jsonl"), str(tmp_path / "no.jsonl")]) == 2
@@ -517,6 +542,91 @@ class TestCommands:
         assert main(argv + ["--inference", "--resume"]) == 0
         out = capsys.readouterr().out
         assert "resume:" not in out  # nothing in the manifest was resumable
+
+    def test_sweep_serving_mode_stores_and_replays(self, capsys, monkeypatch, tmp_path):
+        """Serving sweeps write `kind: serving` manifests with latency-tail
+        payloads and replay from the ResultStore's `v` namespace on
+        identical re-runs, with zero retraining and zero re-simulation."""
+        import json
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "srv.jsonl"
+        argv = self.SWEEP_ARGV + self.SERVE_ARGV
+        assert main(argv + ["--out", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "serving sweep (2 scenarios)" in out
+        lines = [json.loads(x) for x in manifest.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all(d["kind"] == "serving" and d["comparison"] is None for d in lines)
+        for d in lines:
+            stats = d["serving"]["systems"]["booster"]
+            assert stats["n_requests"] > 0
+            assert stats["p99_ms"] >= stats["p50_ms"] > 0
+            assert stats["sustained_qps"] > 0
+        self._tripwire_runs(monkeypatch)
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert out.count("[stored]") == 2
+
+    def test_serving_axes_require_serve_flag(self, capsys, monkeypatch, tmp_path):
+        """A serving knob axis on a compare sweep is an error, not a
+        silently key-changing no-op."""
+        self._isolate_cache(monkeypatch, tmp_path)
+        assert main(self.SWEEP_ARGV + ["--axis", "policy=batch,timeout"]) == 2
+        err = capsys.readouterr().err
+        assert "serving knobs" in err and "--serve" in err
+
+    def test_serve_and_inference_conflict(self, capsys, monkeypatch, tmp_path):
+        self._isolate_cache(monkeypatch, tmp_path)
+        assert main(self.SWEEP_ARGV + self.SERVE_ARGV + ["--inference"]) == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_resume_refuses_unknown_kind_manifest(self, capsys, monkeypatch, tmp_path):
+        """Forward compatibility fails loudly: a manifest holding rows of a
+        sweep kind this version does not know (written by a newer repro)
+        must not be silently dropped and re-run under --resume."""
+        import json
+
+        from repro.experiments import ScenarioSpec
+
+        self._isolate_cache(monkeypatch, tmp_path)
+        manifest = tmp_path / "future.jsonl"
+        line = {
+            "kind": "holographic",
+            "scenario": ScenarioSpec(dataset="mq2008").to_dict(),
+            "error": None,
+        }
+        manifest.write_text(json.dumps(line) + "\n")
+        capsys.readouterr()
+        assert main(self.SWEEP_ARGV + ["--out", str(manifest), "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown sweep kind 'holographic'" in err
+
+    def test_report_all_failed_manifest_renders_without_geomean(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """A manifest whose surviving rows all failed still renders a
+        table; the geomean summary is simply omitted (no geomean-of-empty
+        traceback)."""
+        import json
+
+        from repro.experiments import ScenarioSpec
+
+        manifest = tmp_path / "failed.jsonl"
+        line = {
+            "kind": "compare",
+            "scenario": ScenarioSpec(dataset="mq2008").to_dict(),
+            "comparison": None,
+            "error": "RuntimeError: boom",
+            "worker_pid": 1,
+            "cache_hit": False,
+        }
+        manifest.write_text(json.dumps(line) + "\n")
+        assert main(["report", "--from-manifest", str(manifest)]) == 0
+        captured = capsys.readouterr()
+        assert "scenario sweep (1 scenarios" in captured.out
+        assert "geomean" not in captured.out
+        assert "1 scenario(s) failed" in captured.err
 
     def test_cache_export_import_seeds_cold_host(self, capsys, monkeypatch, tmp_path):
         """A warm host's exported entries let a cold shard run the same

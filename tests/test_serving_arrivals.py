@@ -1,0 +1,131 @@
+"""Arrival generation and trace replay: determinism, rates, malformed input."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ServingParams,
+    build_arrivals,
+    diurnal_times,
+    load_trace,
+    poisson_times,
+    trace_digest,
+)
+
+
+class TestPoisson:
+    def test_deterministic_given_seed(self):
+        a = poisson_times(500.0, 2.0, np.random.default_rng(7))
+        b = poisson_times(500.0, 2.0, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_sorted_within_horizon(self):
+        times = poisson_times(300.0, 2.0, np.random.default_rng(1))
+        assert times.size > 0
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0 and times[-1] < 2.0
+
+    def test_rate_sanity(self):
+        # 4000 expected arrivals, sd ~63; a 6-sigma band will not flake.
+        times = poisson_times(1000.0, 4.0, np.random.default_rng(0))
+        assert 3600 < times.size < 4400
+
+    def test_rejects_nonpositive_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="positive"):
+            poisson_times(0.0, 1.0, rng)
+        with pytest.raises(ValueError, match="positive"):
+            poisson_times(10.0, 0.0, rng)
+
+
+class TestDiurnal:
+    def test_deterministic_given_seed(self):
+        a = diurnal_times(400.0, 2.0, np.random.default_rng(3), amplitude=0.8)
+        b = diurnal_times(400.0, 2.0, np.random.default_rng(3), amplitude=0.8)
+        assert np.array_equal(a, b)
+
+    def test_mean_rate_over_whole_cycles(self):
+        # Thinning preserves the mean rate over an integer number of
+        # periods: 2000 expected, same 6-sigma band as the Poisson test.
+        times = diurnal_times(1000.0, 2.0, np.random.default_rng(5), periods=2.0)
+        assert 1700 < times.size < 2300
+
+    def test_modulation_shifts_mass_toward_midcycle(self):
+        # Rate profile troughs at t=0 and peaks mid-cycle, so the middle
+        # half must hold clearly more than half the arrivals.
+        times = diurnal_times(2000.0, 4.0, np.random.default_rng(9), amplitude=0.9)
+        middle = np.count_nonzero((times >= 1.0) & (times < 3.0))
+        assert middle / times.size > 0.6
+
+    def test_rejects_amplitude_out_of_range(self):
+        with pytest.raises(ValueError, match="amplitude"):
+            diurnal_times(10.0, 1.0, np.random.default_rng(0), amplitude=1.0)
+
+
+class TestTraceReplay:
+    def _write(self, tmp_path, lines, name="trace.jsonl"):
+        p = tmp_path / name
+        p.write_text("\n".join(lines) + "\n")
+        return str(p)
+
+    def test_load_sorts_by_time_keeping_file_order_for_ties(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            [
+                json.dumps({"t": 0.5, "priority": 3}),
+                "",  # blank lines are tolerated
+                json.dumps({"t": 0.1}),
+                json.dumps({"t": 0.5, "priority": 7}),
+            ],
+        )
+        times, priorities = load_trace(path)
+        assert times.tolist() == [0.1, 0.5, 0.5]
+        assert priorities.tolist() == [0, 3, 7]  # stable sort keeps 3 before 7
+
+    @pytest.mark.parametrize(
+        ("line", "fragment"),
+        [
+            ("not json", "not valid JSON"),
+            ('{"priority": 1}', 'object with a "t" field'),
+            ('{"t": -1.0}', "finite, non-negative"),
+            ('{"t": true}', "finite, non-negative"),
+            ('{"t": 0.1, "priority": 1.5}', "must be an integer"),
+        ],
+    )
+    def test_malformed_lines_raise_with_location(self, tmp_path, line, fragment):
+        path = self._write(tmp_path, [json.dumps({"t": 0.0}), line])
+        with pytest.raises(ValueError, match=fragment) as exc:
+            load_trace(path)
+        assert ":2:" in str(exc.value)  # offending line number, not just the file
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no such trace file"):
+            load_trace(str(tmp_path / "nope.jsonl"))
+        with pytest.raises(ValueError, match="no such trace file"):
+            trace_digest(str(tmp_path / "nope.jsonl"))
+
+    def test_digest_tracks_content_not_path(self, tmp_path):
+        lines = [json.dumps({"t": 0.25})]
+        a = self._write(tmp_path, lines, name="a.jsonl")
+        b = self._write(tmp_path, lines, name="b.jsonl")
+        assert trace_digest(a) == trace_digest(b)
+        (tmp_path / "a.jsonl").write_text(json.dumps({"t": 0.75}) + "\n")
+        assert trace_digest(a) != trace_digest(b)
+
+    def test_build_arrivals_rejects_edited_trace(self, tmp_path):
+        path = self._write(tmp_path, [json.dumps({"t": 0.0})])
+        params = ServingParams(arrival="trace", trace_path=path, trace_sha=trace_digest(path))
+        times, _ = build_arrivals(params, seed=1)
+        assert times.tolist() == [0.0]
+        (tmp_path / "trace.jsonl").write_text(json.dumps({"t": 1.0}) + "\n")
+        with pytest.raises(ValueError, match="changed since the scenario was keyed"):
+            build_arrivals(params, seed=1)
+
+    def test_generated_arrivals_carry_priority_zero(self):
+        times, priorities = build_arrivals(ServingParams(qps=300.0, duration_s=1.0), seed=4)
+        assert priorities.shape == times.shape
+        assert not priorities.any()

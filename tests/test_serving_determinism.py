@@ -1,0 +1,95 @@
+"""Cross-process serving determinism: the content-keyed store's bedrock.
+
+A stored ``ServingResult`` is replayed on any later run, on any host, so
+the simulation must be a pure function of the scenario: same seed and
+parameters (or same recorded trace) => bit-identical JSON in a fresh
+process, even under a different ``PYTHONHASHSEED`` and a cold cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.experiments import ScenarioSpec, ServingParams
+from repro.gbdt import TrainParams
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+#: Runs the scenario in a clean interpreter and prints the canonical
+#: serving JSON; each invocation gets its own cache root so the second
+#: process genuinely re-trains and re-simulates instead of replaying.
+CODE = """
+import json
+from repro.experiments import ProfileCache, ScenarioSpec, run_scenario
+
+scenario = ScenarioSpec.from_json({scenario_json!r})
+result = run_scenario(scenario, ProfileCache(root={cache_root!r}), mode="serving")
+assert result.ok, result.error
+print(json.dumps(result.serving.to_dict(), sort_keys=True))
+"""
+
+
+def _serving_json(scenario: ScenarioSpec, cache_root: str, hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hashseed
+    code = CODE.format(scenario_json=scenario.to_json(), cache_root=cache_root)
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout.strip().splitlines()[-1]
+
+
+def _tiny(serving: ServingParams) -> ScenarioSpec:
+    return ScenarioSpec(
+        dataset="mq2008",
+        sim_records=500,
+        train=TrainParams(n_trees=2),
+        systems=("ideal-32-core", "booster"),
+        serving=serving,
+    )
+
+
+def test_generated_arrivals_bit_identical_across_processes(tmp_path):
+    scenario = _tiny(ServingParams(qps=150.0, duration_s=1.0))
+    a = _serving_json(scenario, str(tmp_path / "a"), hashseed="0")
+    b = _serving_json(scenario, str(tmp_path / "b"), hashseed="31337")
+    assert a == b
+    payload = json.loads(a)
+    assert payload["systems"]["booster"]["n_requests"] > 0
+
+
+def test_trace_replay_bit_identical_across_processes(tmp_path):
+    from repro.serving import trace_digest
+
+    trace = tmp_path / "trace.jsonl"
+    trace.write_text(
+        "".join(
+            json.dumps({"t": round(0.004 * i, 6), "priority": i % 3}) + "\n"
+            for i in range(200)
+        )
+    )
+    scenario = _tiny(
+        ServingParams(
+            arrival="trace",
+            trace_path=str(trace),
+            trace_sha=trace_digest(str(trace)),
+            policy="timeout",
+            max_batch=8,
+            timeout_ms=4.0,
+            queue="priority",
+        )
+    )
+    a = _serving_json(scenario, str(tmp_path / "a"), hashseed="0")
+    b = _serving_json(scenario, str(tmp_path / "b"), hashseed="31337")
+    assert a == b
+    payload = json.loads(a)
+    assert payload["systems"]["booster"]["n_requests"] == 200

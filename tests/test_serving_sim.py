@@ -1,0 +1,147 @@
+"""Discrete-event queue semantics: policies, disciplines, saturation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import simulate
+
+COST = 0.010  # flat 10 ms per batch unless a test says otherwise
+
+
+def flat_cost(n_records: int) -> float:
+    return COST
+
+
+def run(times, priorities=None, **overrides):
+    ts = np.asarray(times, dtype=np.float64)
+    ps = np.asarray(
+        priorities if priorities is not None else np.zeros(ts.size), dtype=np.int64
+    )
+    kwargs = dict(
+        policy="batch",
+        max_batch=32,
+        timeout_s=0.0,
+        queue="fifo",
+        records_per_request=1,
+        service_seconds=flat_cost,
+    )
+    kwargs.update(overrides)
+    return simulate(ts, ps, **kwargs)
+
+
+class TestPolicies:
+    def test_immediate_serves_one_request_per_batch(self):
+        trace = run([0.0, 0.0, 0.0, 0.0], policy="immediate")
+        assert trace.batch_sizes == [1, 1, 1, 1]
+        # Serialized through a single server: each waits for its predecessors.
+        assert trace.latencies_s.tolist() == pytest.approx([COST * k for k in (1, 2, 3, 4)])
+
+    def test_batch_greedy_caps_at_max_batch(self):
+        trace = run([0.0] * 10, max_batch=4)
+        assert trace.batch_sizes == [4, 4, 2]
+        assert trace.queue_depth == [(0.0, 6), (COST, 2), (2 * COST, 0)]
+        assert trace.max_queue_depth == 10
+
+    def test_timeout_holds_unfilled_window_to_deadline(self):
+        trace = run([0.0], policy="timeout", max_batch=4, timeout_s=0.005)
+        # Alone in the window: the server launches at the deadline.
+        assert trace.latencies_s.tolist() == pytest.approx([0.005 + COST])
+
+    def test_timeout_launches_early_once_window_fills(self):
+        trace = run(
+            [0.0, 0.001, 0.002, 0.5], policy="timeout", max_batch=3, timeout_s=0.005
+        )
+        assert trace.batch_sizes == [3, 1]
+        # Window fills at t=0.002 and launches immediately -- the deadline
+        # (t=0.005) never binds; the straggler waits out its own window.
+        assert trace.latencies_s.tolist() == pytest.approx(
+            [0.002 + COST, 0.001 + COST, COST, 0.005 + COST]
+        )
+
+    def test_zero_timeout_degenerates_to_greedy_batching(self):
+        greedy = run([0.0] * 6, max_batch=4)
+        timeout = run([0.0] * 6, policy="timeout", max_batch=4, timeout_s=0.0)
+        assert timeout.batch_sizes == greedy.batch_sizes
+        assert np.array_equal(timeout.latencies_s, greedy.latencies_s)
+
+
+class TestQueueDisciplines:
+    def test_fifo_serves_in_arrival_order(self):
+        trace = run([0.0, 0.0, 0.0], [2, 1, 0], policy="immediate", queue="fifo")
+        assert trace.latencies_s.tolist() == pytest.approx([COST, 2 * COST, 3 * COST])
+
+    def test_priority_serves_lowest_rank_first(self):
+        trace = run([0.0, 0.0, 0.0], [2, 1, 0], policy="immediate", queue="priority")
+        assert trace.latencies_s.tolist() == pytest.approx([3 * COST, 2 * COST, COST])
+
+    def test_priority_ties_break_by_arrival(self):
+        trace = run([0.0, 0.0], [5, 5], policy="immediate", queue="priority")
+        assert trace.latencies_s.tolist() == pytest.approx([COST, 2 * COST])
+
+
+class TestMechanics:
+    def test_bit_identical_across_calls(self):
+        rng = np.random.default_rng(11)
+        times = np.sort(rng.uniform(0.0, 1.0, size=400))
+        priorities = rng.integers(0, 4, size=400)
+        a = run(times, priorities, max_batch=8, queue="priority")
+        b = run(times, priorities, max_batch=8, queue="priority")
+        assert np.array_equal(a.latencies_s, b.latencies_s)
+        assert a.batch_sizes == b.batch_sizes
+        assert a.queue_depth == b.queue_depth
+
+    def test_empty_trace(self):
+        trace = run([])
+        assert trace.latencies_s.size == 0
+        assert trace.batch_sizes == [] and trace.queue_depth == []
+        assert trace.max_queue_depth == 0
+
+    def test_unsorted_input_is_sorted_stably(self):
+        trace = run([0.5, 0.0], policy="immediate")
+        # latencies_s is indexed in arrival-time order after the stable sort.
+        assert trace.first_arrival_s == 0.0
+        assert trace.latencies_s.tolist() == pytest.approx([COST, COST])
+
+    def test_per_record_costs_reach_service_function(self):
+        seen: list[int] = []
+
+        def record_cost(n_records: int) -> float:
+            seen.append(n_records)
+            return 1e-4 * n_records
+
+        run([0.0] * 4, max_batch=4, records_per_request=3, service_seconds=record_cost)
+        assert seen == [12]  # one batch of 4 requests x 3 records each
+
+    def test_saturation_grows_the_queue_without_bound(self):
+        # Offered 1000 qps against a 100 qps server: the backlog and the
+        # latency ramp are the signature the saturation verdict keys on.
+        times = np.linspace(0.0, 0.999, 1000)
+        trace = run(times, policy="immediate")
+        assert trace.max_queue_depth > 100
+        assert float(trace.latencies_s[-1]) > 50 * COST
+        depths = [d for _, d in trace.queue_depth]
+        assert max(depths) > depths[0]
+
+
+class TestValidation:
+    def test_rejects_unknown_policy_and_queue(self):
+        with pytest.raises(ValueError, match="unknown batching policy"):
+            run([0.0], policy="psychic")
+        with pytest.raises(ValueError, match="unknown queue discipline"):
+            run([0.0], queue="lifo")
+
+    def test_rejects_bad_sizes_and_timeouts(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            run([0.0], max_batch=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            run([0.0], records_per_request=0)
+        with pytest.raises(ValueError, match="timeout_s"):
+            run([0.0], timeout_s=float("nan"))
+        with pytest.raises(ValueError, match="timeout_s"):
+            run([0.0], timeout_s=-1.0)
+
+    def test_rejects_nonpositive_service_cost(self):
+        with pytest.raises(ValueError, match="finite and positive"):
+            run([0.0], service_seconds=lambda n: 0.0)
