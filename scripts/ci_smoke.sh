@@ -19,6 +19,9 @@
 #      zero re-simulation, the latency tail diverges from the mean under
 #      load (saturation), and serving manifests merge with inference
 #      manifests side by side
+#   8. work stealing over a remote store URL (repro store-serve + two
+#      workers sharing nothing but http://...; merge == unsharded, the
+#      served directory holds one done lease per scenario)
 #
 # Everything lands under /tmp (*.jsonl manifests, *.log transcripts) so a
 # failing CI run can upload the lot as artifacts.
@@ -31,7 +34,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 SWEEP="python -m repro.cli sweep --serial --trees 2 --dataset mq2008 --axis max_depth=2,3 --systems ideal-32-core booster"
 
-echo "=== smoke 1/7: sweep interrupt + resume ==="
+echo "=== smoke 1/8: sweep interrupt + resume ==="
 $SWEEP --out /tmp/sweep.jsonl
 # Simulate an interrupted run: drop the manifest's second line.
 head -n 1 /tmp/sweep.jsonl > /tmp/sweep.partial && mv /tmp/sweep.partial /tmp/sweep.jsonl
@@ -42,7 +45,7 @@ grep -q 'resume: 1/2 scenarios already in' /tmp/resume.log
 grep -q '\[stored\]' /tmp/resume.log
 python -c 'import json; lines = [json.loads(l) for l in open("/tmp/sweep.jsonl")]; assert len(lines) == 2 and all(l["error"] is None for l in lines), lines; assert lines[1]["stored"] is True, "resumed scenario was re-simulated"'
 
-echo "=== smoke 2/7: sharded sweep + merge ==="
+echo "=== smoke 2/8: sharded sweep + merge ==="
 $SWEEP --out /tmp/full.jsonl
 # The same sweep as two shards: a disjoint cover of the scenario list,
 # each shard streaming its own manifest.
@@ -56,7 +59,7 @@ python -m repro.cli report --from-manifest /tmp/merged.jsonl
 # order and execution provenance).
 python -c 'import json; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/full.jsonl"); merged = load("/tmp/merged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "merged manifest diverges from the unsharded sweep"; print(f"merged manifest matches the unsharded sweep ({len(merged)} scenarios)")'
 
-echo "=== smoke 3/7: cost-balanced sharding ==="
+echo "=== smoke 3/8: cost-balanced sharding ==="
 # On a heterogeneous sweep (trees x record scale spanning two orders of
 # magnitude), the cost-balanced partition must predict a strictly smaller
 # max shard cost than the hash partition.
@@ -73,7 +76,7 @@ python -m repro.cli merge /tmp/cmerged.jsonl /tmp/cshard1.jsonl /tmp/cshard2.jso
 python -m repro.cli report --from-manifest /tmp/cmerged.jsonl
 python -c 'import json; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/full.jsonl"); merged = load("/tmp/cmerged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "cost-balanced merge diverges from the unsharded sweep"; print(f"cost-balanced merge matches the unsharded sweep ({len(merged)} scenarios)")'
 
-echo "=== smoke 4/7: work stealing over a shared lease directory ==="
+echo "=== smoke 4/8: work stealing over a shared lease directory ==="
 # Two workers drain ONE sweep through lease files in a shared directory.
 # A cold cache makes every scenario cost real training time, so both
 # workers reliably get to claim work (a warm store would let the first
@@ -97,7 +100,7 @@ python -m repro.cli sweep --serial --trees 2 --dataset mq2008 $STEAL_AXES --syst
 python -m repro.cli merge /tmp/steal-merged.jsonl /tmp/steal-w1.jsonl /tmp/steal-w2.jsonl
 python -c 'import json, pathlib; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/steal-full.jsonl"); merged = load("/tmp/steal-merged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "steal-mode merge diverges from the unsharded sweep"; leases = list(pathlib.Path("/tmp/steal-coord").glob("*.lease")); assert len(leases) == len(full), (len(leases), len(full)); assert all(json.loads(p.read_bytes())["done"] for p in leases), "undone lease left behind"; print(f"steal-mode merge matches the unsharded sweep ({len(merged)} scenarios, {len(leases)} leases, all done)")'
 
-echo "=== smoke 5/7: quick bench + schema validation ==="
+echo "=== smoke 5/8: quick bench + schema validation ==="
 # The bench validates before writing; re-validating the file from a fresh
 # process proves the committed-trajectory read path too.  Shape only --
 # never absolute times (host-specific).  CI uploads the document as an
@@ -105,7 +108,7 @@ echo "=== smoke 5/7: quick bench + schema validation ==="
 python -m repro.cli bench --quick --repeats 2 --out /tmp/bench-quick.json
 python -c "import json; from repro.experiments.bench import validate_bench; doc = json.load(open('/tmp/bench-quick.json')); validate_bench(doc); assert doc['quick'] is True; print('bench document valid:', len(doc['cells']), 'cells')"
 
-echo "=== smoke 6/7: deep lint (interprocedural pass) ==="
+echo "=== smoke 6/8: deep lint (interprocedural pass) ==="
 # (a) The whole-tree deep pass is green against the committed baseline and
 # inside the wall-clock budget the pre-commit hook depends on.
 timeout 10 python -m repro.devtools src tests --deep --baseline lint-baseline.json
@@ -123,7 +126,7 @@ grep -q 'RPR101' /tmp/deep-miss.log
 grep -q 'via cache_key -> _freshness_stamp' /tmp/deep-miss.log
 echo "deep lint caught the cross-function clock (shallow pass was clean)"
 
-echo "=== smoke 7/7: serving sweep (latency tail under load) ==="
+echo "=== smoke 7/8: serving sweep (latency tail under load) ==="
 # records_per_request=20000 puts the ideal-32-core design point's serving
 # capacity at ~112 qps, so arrival_qps=100,400 straddles it: the cool row
 # is stationary, the hot row saturates and the tail diverges from the mean.
@@ -145,5 +148,34 @@ grep -q 'kinds: inference+serving' /tmp/serve-merge.log
 python -m repro.cli report --from-manifest /tmp/serve-mixed.jsonl | tee /tmp/serve-report.log
 grep -q 'p99 (ms)' /tmp/serve-report.log
 grep -q 'booster (ms)' /tmp/serve-report.log
+
+echo "=== smoke 8/8: work stealing over a remote store URL ==="
+# The smoke-4 story again, but the workers share nothing except the URL
+# of a `repro store-serve` process: leases, the sweep descriptor, and
+# steal-status all travel over HTTP, and each worker keeps a private
+# (cold) local cache -- no shared filesystem anywhere.
+rm -rf /tmp/remote-store /tmp/repro-ci-remote-w1 /tmp/repro-ci-remote-w2
+python -m repro.cli store-serve /tmp/remote-store --port 0 > /tmp/store-serve.log 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do grep -q 'store-serve: serving' /tmp/store-serve.log && break; sleep 0.1; done
+STORE_URL=$(sed -n 's/.* at \(http:[^ ]*\)$/\1/p' /tmp/store-serve.log)
+test -n "$STORE_URL"
+REMOTE="python -m repro.cli sweep --serial --trees 2 --dataset mq2008 $STEAL_AXES --systems ideal-32-core booster --coordinate $STORE_URL --lease-ttl 300"
+REPRO_CACHE_DIR=/tmp/repro-ci-remote-w1 $REMOTE --out /tmp/remote-w1.jsonl > /tmp/remote-w1.log 2>&1 &
+RW1=$!
+REPRO_CACHE_DIR=/tmp/repro-ci-remote-w2 $REMOTE --out /tmp/remote-w2.jsonl | tee /tmp/remote-w2.log
+wait "$RW1"
+cat /tmp/remote-w1.log
+python -m repro.cli steal-status "$STORE_URL" | tee /tmp/remote-status.log
+# Both workers must have claimed at least one scenario over the wire.
+grep -Eq 'steal: claimed [1-9][0-9]*/6' /tmp/remote-w1.log
+grep -Eq 'steal: claimed [1-9][0-9]*/6' /tmp/remote-w2.log
+# The union of the worker manifests equals the unsharded sweep (smoke 4
+# already produced it), and the *served directory* -- a plain local store
+# the whole time -- holds exactly one done lease per scenario.
+python -m repro.cli merge /tmp/remote-merged.jsonl /tmp/remote-w1.jsonl /tmp/remote-w2.jsonl
+python -c 'import json, pathlib; load = lambda p: {d["cache_key"]: d for d in map(json.loads, open(p))}; full = load("/tmp/steal-full.jsonl"); merged = load("/tmp/remote-merged.jsonl"); assert set(full) == set(merged), (sorted(full), sorted(merged)); assert all(m["error"] is None and m["comparison"] == full[k]["comparison"] and m["scenario"] == full[k]["scenario"] for k, m in merged.items()), "remote-store merge diverges from the unsharded sweep"; leases = list(pathlib.Path("/tmp/remote-store").glob("*.lease")); assert len(leases) == len(full), (len(leases), len(full)); assert all(json.loads(p.read_bytes())["done"] for p in leases), "undone lease left behind"; print(f"remote-store merge matches the unsharded sweep ({len(merged)} scenarios, {len(leases)} leases, all done)")'
+kill "$SRV" && trap - EXIT
 
 echo "all sweep smokes passed"

@@ -13,8 +13,11 @@ Installed as the ``repro`` console script::
     repro sweep --axis seed=1,2,3 --shard 1/2 --out shard1.jsonl  # host 1 of 2
     repro sweep --axis trees=50,400 --shard 1/2 --balance cost --out s1.jsonl
     repro sweep --axis seed=1,2,3 --coordinate /shared/lease --out w1.jsonl
+    repro store-serve /srv/store --port 8123     # remote store for URL sweeps
+    repro sweep --axis seed=1,2,3 --coordinate http://host:8123/ --out w1.jsonl
     repro sweep --serve --axis arrival_qps=100,400 --out serve.jsonl  # latency tail
     repro steal-status /shared/lease    # who holds what, what is claimable
+    repro steal-status http://host:8123/         # same ledger, over the wire
     repro plan --axis trees=50,400 --axis scale=1,8 --shards 2  # predict costs
     repro merge merged.jsonl shard1.jsonl shard2.jsonl  # union shard manifests
     repro report --from-manifest merged.jsonl           # render, zero re-runs
@@ -62,15 +65,74 @@ hash (--balance hash, the default) or by LPT bin packing over estimated
 scenario costs (--balance cost); `repro plan` predicts the per-shard costs
 without running anything, `repro merge` unions the per-shard manifests
 back into one, and `repro report --from-manifest` renders it (with the
-recorded wall times) without running anything.  --coordinate DIR replaces
-the static partition with dynamic work stealing: workers claim scenarios
-at runtime through atomic lease files in a shared directory (crashed
-workers' stale leases are reclaimed), `repro steal-status DIR` shows the
-live ledger, and `repro merge` unions the per-worker manifests the same
-way it unions shard manifests.
+recorded wall times) without running anything.  --coordinate DIR-or-URL
+replaces the static partition with dynamic work stealing: workers claim
+scenarios at runtime through atomic lease entries in a shared store -- a
+shared directory, or a `repro store-serve` URL for hosts with no shared
+filesystem (crashed workers' stale leases are reclaimed either way),
+`repro steal-status DIR-or-URL` shows the live ledger, and `repro merge`
+unions the per-worker manifests the same way it unions shard manifests.
+$REPRO_CACHE_DIR may also be a store URL, and `repro cache export/import`
+push/pull entries against one directly.
 """
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_axis_options(
+    parser: argparse.ArgumentParser,
+    axis_help: str,
+    systems_help: str,
+) -> None:
+    """The sweep-expansion surface shared by `sweep`, `plan`, and
+    `cache export`: all three must expand byte-identical scenarios (hence
+    identical keys) for the same command line, so the flags that feed
+    :func:`_expand_cli_scenarios` are declared exactly once."""
+    parser.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
+    parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help=axis_help,
+    )
+    parser.add_argument("--systems", nargs="*", default=None, help=systems_help)
+
+
+def _add_balance_option(parser: argparse.ArgumentParser, default: str, help: str) -> None:
+    """`--balance hash|cost`, shared by `sweep` (default hash) and `plan`
+    (default cost) so the partition modes can never drift apart."""
+    parser.add_argument("--balance", choices=("hash", "cost"), default=default, help=help)
+
+
+def _add_lease_ttl_option(parser: argparse.ArgumentParser, help: str) -> None:
+    """`--lease-ttl SECONDS`, shared by `sweep --coordinate` and
+    `steal-status` so both judge staleness on the same knob."""
+    parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS", help=help
+    )
+
+
+def _add_coordinate_options(parser: argparse.ArgumentParser) -> None:
+    """The work-stealing surface: `--coordinate` (a lease directory or a
+    ``repro store-serve`` URL) plus its TTL knob, declared once."""
+    parser.add_argument(
+        "--coordinate",
+        metavar="DIR_OR_URL",
+        default=None,
+        help="work-stealing mode: claim scenarios at runtime through atomic "
+        "lease entries in this shared store (most expensive scenario "
+        "first) instead of running a fixed --shard partition; the store is "
+        "a shared directory or the URL of a `repro store-serve` process, "
+        "every worker pointed at the same store drains the same sweep, and "
+        "stale leases from crashed workers are reclaimed",
+    )
+    _add_lease_ttl_option(
+        parser,
+        help="with --coordinate: seconds after which an unrenewed lease "
+        "counts as abandoned and may be stolen (default: 300; set it well "
+        "above the longest single scenario's wall time)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -206,20 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
         "failing scenario is reported and streamed like any other result; "
         "the rest of the sweep completes.",
     )
-    p_sweep.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
-    p_sweep.add_argument(
-        "--axis",
-        action="append",
-        default=[],
-        metavar="NAME=V1,V2,...",
-        help="sweep axis (repeatable); e.g. --axis n_bus=1600,3200 "
+    _add_axis_options(
+        p_sweep,
+        axis_help="sweep axis (repeatable); e.g. --axis n_bus=1600,3200 "
         "--axis dataset=higgs,flight",
-    )
-    p_sweep.add_argument(
-        "--systems",
-        nargs="*",
-        default=None,
-        help="hardware models to time in each scenario",
+        systems_help="hardware models to time in each scenario",
     )
     p_sweep.add_argument(
         "--workers", type=int, default=None, help="process-pool size (default: auto)"
@@ -255,9 +308,8 @@ def build_parser() -> argparse.ArgumentParser:
         "partition, so N hosts each running one shard cover the sweep "
         "exactly once)",
     )
-    p_sweep.add_argument(
-        "--balance",
-        choices=("hash", "cost"),
+    _add_balance_option(
+        p_sweep,
         default="hash",
         help="how --shard partitions scenarios: 'hash' (stable content "
         "hash, balanced in count) or 'cost' (deterministic LPT bin packing "
@@ -270,41 +322,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure batch inference (Fig. 13) instead of training times; "
         "results persist in their own result-store namespace",
     )
-    p_sweep.add_argument(
-        "--coordinate",
-        metavar="DIR",
-        default=None,
-        help="work-stealing mode: claim scenarios at runtime through atomic "
-        "lease files in this shared directory (most expensive scenario "
-        "first) instead of running a fixed --shard partition; every worker "
-        "pointed at the same directory drains the same sweep, and stale "
-        "leases from crashed workers are reclaimed",
-    )
-    p_sweep.add_argument(
-        "--lease-ttl",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="with --coordinate: seconds after which an unrenewed lease "
-        "counts as abandoned and may be stolen (default: 300; set it well "
-        "above the longest single scenario's wall time)",
-    )
+    _add_coordinate_options(p_sweep)
 
     p_status = sub.add_parser(
         "steal-status",
-        help="inspect a work-stealing sweep's lease directory",
-        description="Summarize a --coordinate lease directory: which "
-        "scenarios are done, failed, running, or stale (claimable), and by "
-        "which host/pid.  Purely a read -- nothing is claimed, stolen, or "
-        "run.",
+        help="inspect a work-stealing sweep's lease store",
+        description="Summarize a --coordinate lease store (a shared "
+        "directory or a `repro store-serve` URL): which scenarios are "
+        "done, failed, running, or stale (claimable), and by which "
+        "host/pid.  Purely a read -- nothing is claimed, stolen, or run.",
     )
-    p_status.add_argument("dir", help="the --coordinate directory to inspect")
     p_status.add_argument(
-        "--lease-ttl",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help="staleness horizon used for display (default: 300)",
+        "dir",
+        metavar="DIR_OR_URL",
+        help="the --coordinate store to inspect (directory or URL)",
+    )
+    _add_lease_ttl_option(
+        p_status, help="staleness horizon used for display (default: 300)"
+    )
+
+    p_store_serve = sub.add_parser(
+        "store-serve",
+        help="serve a store directory over HTTP for --coordinate URL sweeps",
+        description="Serve DIR as a remote object store speaking the "
+        "StoreBackend protocol (atomic writes, create-exclusive "
+        "conditional PUT, ETag-guarded DELETE), so sweep workers on hosts "
+        "with no shared filesystem can point --coordinate and "
+        "$REPRO_CACHE_DIR at http://HOST:PORT/.  Plain HTTP, no auth: bind "
+        "it to an interface only your worker pool can reach (see "
+        "docs/experiments.md, 'Remote stores').",
+    )
+    p_store_serve.add_argument("dir", help="store directory to serve (created if missing)")
+    p_store_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_store_serve.add_argument(
+        "--port", type=int, default=8123, help="bind port; 0 picks a free port (default: 8123)"
     )
 
     p_plan = sub.add_parser(
@@ -318,19 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
         "calibrated by the wall times recorded in the persistent result "
         "store when scenarios have run before.",
     )
-    p_plan.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
-    p_plan.add_argument(
-        "--axis",
-        action="append",
-        default=[],
-        metavar="NAME=V1,V2,...",
-        help="sweep axis (repeatable), exactly as `repro sweep --axis`",
-    )
-    p_plan.add_argument(
-        "--systems",
-        nargs="*",
-        default=None,
-        help="hardware models of the target sweep",
+    _add_axis_options(
+        p_plan,
+        axis_help="sweep axis (repeatable), exactly as `repro sweep --axis`",
+        systems_help="hardware models of the target sweep",
     )
     p_plan.add_argument(
         "--shards",
@@ -339,9 +383,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="number of hosts the sweep would shard across (default: 1)",
     )
-    p_plan.add_argument(
-        "--balance",
-        choices=("hash", "cost"),
+    _add_balance_option(
+        p_plan,
         default="cost",
         help="partitioner to predict for (default: cost; use 'hash' to see "
         "what the count-balanced partition would cost)",
@@ -386,33 +429,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser(
         "cache",
         help="export/import persistent store entries between hosts",
-        description="Move `results/cache/` entries (trained-profile pickles "
-        "and stored results) between hosts, so a warm host can seed cold "
-        "sweep shards.",
+        description="Move store entries (trained-profile pickles and stored "
+        "results) between hosts, so a warm host can seed cold sweep "
+        "shards.  The target is a tar archive, or -- as a push/pull with "
+        "no intermediate file -- the URL of a `repro store-serve` store.",
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_cexp = cache_sub.add_parser(
         "export",
         parents=[common, serving_opts],
-        help="tar up cache entries (optionally filtered to one sweep's keys)",
+        help="tar up cache entries, or push them straight to a store URL "
+        "(optionally filtered to one sweep's keys)",
     )
-    p_cexp.add_argument("archive", help="tar file to write")
-    p_cexp.add_argument("--dataset", choices=BENCHMARK_NAMES, default="higgs")
     p_cexp.add_argument(
-        "--axis",
-        action="append",
-        default=[],
-        metavar="NAME=V1,V2,...",
-        help="restrict the export to this sweep's scenarios (repeatable); "
+        "archive",
+        help="tar file to write, or an http(s):// store URL to push entries to",
+    )
+    _add_axis_options(
+        p_cexp,
+        axis_help="restrict the export to this sweep's scenarios (repeatable); "
         "without --axis every store entry is exported",
-    )
-    p_cexp.add_argument(
-        "--systems", nargs="*", default=None, help="systems of the target sweep"
+        systems_help="systems of the target sweep",
     )
     p_cimp = cache_sub.add_parser(
-        "import", help="unpack a `repro cache export` archive into the store"
+        "import",
+        help="unpack a `repro cache export` archive -- or pull a remote "
+        "store's entries -- into the local store",
     )
-    p_cimp.add_argument("archive", help="tar file to read")
+    p_cimp.add_argument(
+        "archive",
+        help="tar file to read, or an http(s):// store URL to pull entries from",
+    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -905,7 +952,7 @@ def _cmd_sweep_axes(args: argparse.Namespace) -> int:
                 "directory instead of passing --workers"
             )
         if args.lease_ttl is not None and not args.coordinate:
-            raise ValueError("--lease-ttl only applies with --coordinate DIR")
+            raise ValueError("--lease-ttl only applies with --coordinate DIR_OR_URL")
         if args.lease_ttl is not None and args.lease_ttl <= 0:
             raise ValueError(
                 f"--lease-ttl must be positive, got {args.lease_ttl:g}"
@@ -1443,9 +1490,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """`repro cache export/import`: move store entries between hosts."""
+    """`repro cache export/import`: move store entries between hosts.
+
+    The archive argument is a tar path, or -- push/pull, no intermediate
+    file -- the URL of a `repro store-serve` store: `export URL` copies
+    the local store's entries up, `import URL` copies the remote store's
+    entries down.
+    """
     from .experiments import default_cache
-    from .experiments.cache import export_entries, import_entries
+    from .experiments.backend import is_store_url
+    from .experiments.cache import copy_entries, export_entries, import_entries
 
     cache = default_cache()
     if cache.root is None:  # pragma: no cover - default cache is always rooted
@@ -1453,13 +1507,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 2
     if args.cache_command == "import":
         try:
-            imported = import_entries(cache.root, args.archive)
+            if is_store_url(args.archive):
+                imported = copy_entries(args.archive, cache.root)
+                what = f"pulled {len(imported)} entr(ies) from {args.archive}"
+            else:
+                imported = import_entries(cache.root, args.archive)
+                what = f"imported {len(imported)} entr(ies)"
         except ValueError as exc:
             # A crafted/corrupt archive (path components that could escape
             # the store directory) is rejected before anything is written.
             print(exc.args[0] if exc.args else exc, file=sys.stderr)
             return 2
-        print(f"imported {len(imported)} entr(ies) into {cache.root}")
+        except OSError as exc:
+            print(f"cannot reach store: {exc}", file=sys.stderr)
+            return 2
+        print(f"{what} into {cache.root}")
         return 0
 
     keys = None
@@ -1477,14 +1539,27 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         except (KeyError, ValueError) as exc:
             print(exc.args[0] if exc.args else exc, file=sys.stderr)
             return 2
-    members = export_entries(cache.root, args.archive, keys=keys)
     scope = "matching the sweep" if keys is not None else "in the store"
+    try:
+        if is_store_url(args.archive):
+            members = copy_entries(cache.root, args.archive, keys=keys)
+            print(f"pushed {len(members)} entr(ies) {scope} -> {args.archive}")
+            return 0
+        members = export_entries(cache.root, args.archive, keys=keys)
+    except OSError as exc:
+        print(f"cannot reach store: {exc}", file=sys.stderr)
+        return 2
     print(f"exported {len(members)} entr(ies) {scope} -> {args.archive}")
     return 0
 
 
 def _cmd_steal_status(args: argparse.Namespace) -> int:
-    """Render a work-stealing lease directory: the sweep's live ledger."""
+    """Render a work-stealing lease store: the sweep's live ledger.
+
+    The target is a lease directory or a `repro store-serve` URL; either
+    way the listing goes through the coordinator's store backend, so this
+    renders exactly what a stealing worker would see.
+    """
     import time
 
     from .experiments.steal import DEFAULT_LEASE_TTL, steal_status
@@ -1495,7 +1570,7 @@ def _cmd_steal_status(args: argparse.Namespace) -> int:
         return 2
     status = steal_status(args.dir, ttl=ttl)
     if status is None:
-        print(f"no such lease directory: {args.dir}", file=sys.stderr)
+        print(f"no such lease store (or unreachable): {args.dir}", file=sys.stderr)
         return 2
     now = time.time()
     rows = []
@@ -1589,6 +1664,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    """`repro store-serve`: serve a store directory over HTTP.
+
+    Runs until interrupted; prints the bound URL first (with --port 0 the
+    kernel picks the port, so scripts parse it from this line).
+    """
+    from .experiments.store_server import serve_store
+
+    root = pathlib.Path(args.dir)
+    root.mkdir(parents=True, exist_ok=True)
+    server = serve_store(root, host=args.host, port=args.port)
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"store-serve: serving {root.resolve()} at http://{host}:{port}/", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .sim.validate import report, validate_all
 
@@ -1610,6 +1707,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "cache": _cmd_cache,
     "steal-status": _cmd_steal_status,
+    "store-serve": _cmd_store_serve,
     "bench": _cmd_bench,
     "validate": _cmd_validate,
     "lint": _cmd_lint,

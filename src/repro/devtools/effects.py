@@ -18,8 +18,9 @@ entry points can reach:
   ``write_text``/``write_bytes``, ``os.rename``/``os.replace``,
   ``shutil.copy*``/``move``): every worker-side write must go through
   ``atomic_write_bytes`` / ``KeyedStore.put`` so a concurrent reader never
-  observes a partial file.  :mod:`repro.experiments.cache` is exempt -- it
-  *implements* the blessed protocol.
+  observes a partial file.  :mod:`repro.experiments.backend` and
+  :mod:`repro.experiments.cache` are exempt -- they *implement* the
+  blessed protocol.
 
 Unlike the shallow RPR001/RPR005 (which pattern-match single files), these
 run over the call-graph closure of the worker entry points, so a hazard
@@ -46,7 +47,7 @@ DEFAULT_ENTRYPOINTS: tuple[str, ...] = (
 )
 
 #: Modules whose writes ARE the atomic protocol (exempt from RPR105).
-_WRITE_PROTOCOL_MODULES = frozenset({"repro.experiments.cache"})
+_WRITE_PROTOCOL_MODULES = frozenset({"repro.experiments.backend", "repro.experiments.cache"})
 
 _MUTATORS = frozenset(
     {

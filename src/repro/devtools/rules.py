@@ -128,6 +128,17 @@ def _is_store_path(text: str) -> bool:
     return bool(_STORE_TOKEN.search(text))
 
 
+#: Modules that *implement* the blessed store-write protocol (atomic
+#: temp+rename publication, create-exclusive hard links, flat-name
+#: validation).  They necessarily contain the raw writes every other
+#: module is forbidden, so the store-discipline rules exempt them.
+_PROTOCOL_MODULES = ("experiments/backend.py", "experiments/cache.py")
+
+
+def _implements_store_protocol(ctx: FileContext) -> bool:
+    return any(ctx.module_is(suffix) for suffix in _PROTOCOL_MODULES)
+
+
 def _defined_functions(ctx: FileContext) -> dict[str, int]:
     """Function/method names defined in a file, mapped to their first line."""
     out: dict[str, int] = {}
@@ -165,14 +176,15 @@ class RawStoreWrite(Rule):
     concurrent sweep worker -- the provenance race that bit PR 2.  The
     rule flags write calls whose target path expression (one assignment
     level expanded) mentions a store-directory token (``root``/``lease``/
-    ``store``/``cache``); ``experiments/cache.py`` itself -- the module
-    that *implements* the blessed protocol -- is exempt.
+    ``store``/``cache``); ``experiments/backend.py`` and
+    ``experiments/cache.py`` -- the modules that *implement* the blessed
+    protocol -- are exempt.
     """
 
     code = "RPR001"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        if not ctx.in_src() or ctx.module_is("experiments/cache.py"):
+        if not ctx.in_src() or _implements_store_protocol(ctx):
             return
         for scope in _scopes(ctx.tree):
             for node in scope.nodes:
@@ -490,7 +502,7 @@ class SwallowedException(Rule):
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         if not ctx.in_src() or "experiments/" not in ctx.posix:
             return
-        if ctx.module_is("experiments/cache.py"):
+        if _implements_store_protocol(ctx):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
@@ -525,14 +537,15 @@ class UnvalidatedStoreName(Rule):
     first -- a name assembled by f-string or ``%`` interpolation can
     smuggle a path separator and escape the directory (the reason lease
     stems are hashed).  Flags ``<store path> / f"..."`` joins in functions
-    that never call ``validate_flat_name``; ``experiments/cache.py``
-    (which implements the gate and the blessed helpers) is exempt.
+    that never call ``validate_flat_name``; ``experiments/backend.py``
+    and ``experiments/cache.py`` (which implement the gate and the
+    blessed helpers) are exempt.
     """
 
     code = "RPR007"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
-        if not ctx.in_src() or ctx.module_is("experiments/cache.py"):
+        if not ctx.in_src() or _implements_store_protocol(ctx):
             return
         for scope in _scopes(ctx.tree):
             validates = any(

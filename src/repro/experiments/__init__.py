@@ -20,20 +20,38 @@ design point x scale x systems) tuple -- a first-class object:
   wall times recorded in the result store, and a deterministic LPT
   partitioner behind ``repro sweep --balance cost`` / ``repro plan``;
 * :mod:`~repro.experiments.steal` -- dynamic work stealing over a shared
-  lease directory (``repro sweep --coordinate DIR``): workers claim
-  scenarios at runtime through atomic lease files, renew leases while
+  lease store (``repro sweep --coordinate DIR-or-URL``): workers claim
+  scenarios at runtime through atomic lease entries, renew leases while
   running, and reclaim stale leases from crashed peers, turning the
-  static shard layer into an elastic pool.
+  static shard layer into an elastic pool;
+* :mod:`~repro.experiments.backend` -- the pluggable storage layer
+  beneath all of the above: :class:`StoreBackend` is the atomic
+  create-exclusive / read / write / conditional-delete / list contract,
+  :class:`LocalBackend` the shared-directory implementation, and
+  :class:`HTTPBackend` a stdlib client for ``repro store-serve``
+  (:mod:`~repro.experiments.store_server`), so caches, result stores, and
+  lease pools work across hosts that share nothing but a URL.
 
 The classic :class:`repro.sim.Executor` is a thin facade over this layer;
 see ``docs/experiments.md`` for the full tour.
 """
 
+from .backend import (
+    Entry,
+    HTTPBackend,
+    LocalBackend,
+    StoreBackend,
+    StoreBackendError,
+    etag_of,
+    is_store_url,
+    open_backend,
+)
 from .cache import (
     CACHE_VERSION,
     KeyedStore,
     ProfileCache,
     ResultStore,
+    copy_entries,
     default_cache,
     default_cache_dir,
     export_entries,
@@ -95,9 +113,12 @@ __all__ = [
     "Coordinator",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_SYSTEMS",
+    "Entry",
+    "HTTPBackend",
     "KeyedStore",
     "Lease",
     "LeaseLost",
+    "LocalBackend",
     "ProfileCache",
     "ResultStore",
     "SERVING_AXIS_NAMES",
@@ -105,24 +126,30 @@ __all__ = [
     "ScenarioSpec",
     "ServingParams",
     "ShardPlan",
+    "StoreBackend",
+    "StoreBackendError",
     "SweepResult",
     "SweepRunner",
     "apply_axis",
     "benchmark_dataset",
     "clear_memory_caches",
+    "copy_entries",
     "cost_order",
     "cost_overrides_from",
     "cost_partition",
     "default_cache",
     "default_cache_dir",
+    "etag_of",
     "estimate_cost",
     "expand_axes",
     "export_entries",
     "import_entries",
+    "is_store_url",
     "is_trained",
     "lease_name",
     "lpt_assign",
     "observed_durations",
+    "open_backend",
     "parse_axis_specs",
     "parse_shard_spec",
     "partition_scenarios",

@@ -1,7 +1,7 @@
 """Persistent keyed stores: trained profiles and timing results.
 
-Two expensive things come out of an experiment and both are cached on disk
-under content-derived keys:
+Two expensive things come out of an experiment and both are cached under
+content-derived keys:
 
 * :class:`ProfileCache` -- trained :class:`~repro.gbdt.trainer.TrainResult`
   objects (the functional half), pickled under
@@ -12,32 +12,49 @@ under content-derived keys:
   JSON-serializable dicts), stored under :meth:`ScenarioSpec.cache_key`,
   so a completed scenario is never re-simulated either.
 
-Both are :class:`KeyedStore` instances sharing one directory
-(``results/cache/`` by default, overridable with ``$REPRO_CACHE_DIR``):
+Both are :class:`KeyedStore` instances sharing one store *location* --
+``results/cache/`` by default, overridable with ``$REPRO_CACHE_DIR``,
+which may now also be an ``http://`` URL served by ``repro store-serve``:
 ``<train_key>.pkl`` pickles next to ``<cache_key>.json`` result files.
-Writes are atomic (temp file + rename) so concurrent sweep workers can
-share the directory; unreadable entries are treated as misses.  A process
--local memory layer sits above the disk so repeated lookups return the
-*same* object (the old module-level ``_TRAIN_CACHE`` identity contract).
+Storage is pluggable (:mod:`repro.experiments.backend`): a directory
+opens a :class:`~repro.experiments.backend.LocalBackend` (byte-identical
+to the pre-backend layout), a URL opens an
+:class:`~repro.experiments.backend.HTTPBackend`.  Writes are atomic on
+every backend, so concurrent sweep workers can share a store; unreadable
+entries are treated as misses.  A process-local memory layer sits above
+the persistent layer so repeated lookups return the *same* object (the
+old module-level ``_TRAIN_CACHE`` identity contract).
 """
 
 from __future__ import annotations
 
 import json
-import os
 import pickle
-import tempfile
+import warnings
 from pathlib import Path
 from types import EllipsisType, ModuleType
 from typing import Any, Iterable
 
+from .backend import (
+    TMP_SWEEP_AGE_SECONDS,
+    LocalBackend,
+    StoreBackend,
+    atomic_write_bytes,
+    is_store_url,
+    open_backend,
+    sweep_stale_tmp,
+    validate_flat_name,
+)
+
 __all__ = [
     "CACHE_VERSION",
+    "TMP_SWEEP_AGE_SECONDS",
     "KeyedStore",
     "ProfileCache",
     "ResultStore",
     "atomic_write_bytes",
     "code_fingerprint",
+    "copy_entries",
     "default_cache",
     "default_cache_dir",
     "export_entries",
@@ -47,89 +64,24 @@ __all__ = [
     "validate_flat_name",
 ]
 
-#: File suffixes that may enter/leave a cache directory through the tar
-#: export/import path: trained-profile pickles and result-store JSON.
+#: File suffixes that may enter/leave a store through the tar
+#: export/import and store-to-store copy paths: trained-profile pickles
+#: and result-store JSON.
 _ENTRY_SUFFIXES = (".pkl", ".json")
+
+#: Store entry names that are coordination metadata, not cache entries --
+#: one store may serve as a sweep's lease store *and* its cache (a single
+#: ``repro store-serve`` URL doing both jobs), and the work-stealing sweep
+#: descriptor (:data:`repro.experiments.steal.SWEEP_FILE`) matches the
+#: ``.json`` entry suffix, so export/copy must skip it by name.
+_RESERVED_NAMES = frozenset({"sweep.json"})
 
 #: Bump to invalidate every on-disk artifact (serialization/trainer layout
 #: changes); the version participates in the content hash.
 CACHE_VERSION = 1
 
-#: ``clear()`` only removes ``*.tmp`` files at least this old: a fresh temp
-#: file may be a concurrent worker's in-flight atomic write in the shared
-#: directory, and unlinking it would turn that worker's success into an
-#: error.  Orphans from killed workers are, by definition, not fresh.
-TMP_SWEEP_AGE_SECONDS = 60.0
-
 _CODE_FINGERPRINT: str | None = None
 _SIM_FINGERPRINT: str | None = None
-
-
-def validate_flat_name(name: str, what: str = "archive member") -> None:
-    """Reject ``name`` unless it is a plain flat filename.
-
-    Everything that enters a store directory from outside -- tar members on
-    import, lease filenames in a shared work-stealing directory -- must be a
-    bare basename: a name carrying any path structure (``sub/x.pkl``,
-    ``../x.pkl``, an absolute path, ``.``/``..``) could reach outside the
-    directory it is written into.  One shared gate keeps the import path and
-    the lease code from drifting apart on what "safe" means.
-    """
-    if os.path.basename(name) != name or not name or name in (".", ".."):
-        raise ValueError(
-            f"refusing {what} {name!r}: store entries are flat filenames, "
-            "and a path component could escape the store directory"
-        )
-
-
-def atomic_write_bytes(path: str | Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (temp file + rename).
-
-    The single write protocol shared by every store mutation that must be
-    safe under concurrent readers and writers: :meth:`KeyedStore.put`,
-    archive import, and lease renewal in a shared coordination directory.
-    A reader never observes a partial file; a crash leaves only a ``*.tmp``
-    orphan, which :func:`sweep_stale_tmp` reclaims once it is provably
-    abandoned.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
-
-def sweep_stale_tmp(root: str | Path, max_age: float | None = None) -> int:
-    """Remove abandoned ``*.tmp`` files under ``root``; returns the count.
-
-    Only temp files at least ``max_age`` seconds old (default
-    :data:`TMP_SWEEP_AGE_SECONDS`) are removed: a fresh temp file may be a
-    concurrent worker's :func:`atomic_write_bytes` in flight, and unlinking
-    it would turn that worker's success into an error.  Orphans from killed
-    workers are, by definition, not fresh.
-    """
-    import time
-
-    root = Path(root)
-    if max_age is None:
-        max_age = TMP_SWEEP_AGE_SECONDS
-    cutoff = time.time() - max_age
-    removed = 0
-    if root.is_dir():
-        for p in root.glob("*.tmp"):
-            try:
-                if p.stat().st_mtime <= cutoff:
-                    p.unlink()
-                    removed += 1
-            except FileNotFoundError:
-                pass  # another sweep/worker already removed it
-    return removed
 
 
 def _hash_packages(*packages: ModuleType) -> str:
@@ -182,29 +134,48 @@ def sim_fingerprint() -> str:
     return _SIM_FINGERPRINT
 
 
-def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` if set, else ``results/cache`` under the cwd."""
-    return Path(os.environ.get("REPRO_CACHE_DIR", os.path.join("results", "cache")))
+def default_cache_dir() -> Path | str:
+    """``$REPRO_CACHE_DIR`` if set, else ``results/cache`` under the cwd.
+
+    An ``http(s)://`` value is returned as the raw URL string (the store
+    locator for :func:`~repro.experiments.backend.open_backend`), so a
+    worker whose environment points at a ``repro store-serve`` instance
+    transparently trains and records against the remote store.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_CACHE_DIR")
+    if raw is None:
+        return Path("results") / "cache"
+    if is_store_url(raw):
+        return raw
+    return Path(raw)
 
 
 class KeyedStore:
-    """Two-level (memory over disk) keyed store; subclasses pick the codec.
+    """Two-level (memory over backend) keyed store; subclasses pick the codec.
 
-    ``root=None`` disables the disk layer (memory-only, the behaviour of the
-    old in-process dict).  Instances are cheap; every instance pointed at the
-    same directory shares the persistent layer.  Writes are atomic (temp
-    file + rename); a corrupt or truncated entry is a miss, not a crash.
+    ``root`` is a store locator -- a directory path, an ``http(s)://``
+    URL, or an already-open :class:`~repro.experiments.backend.StoreBackend`
+    -- dispatched through :func:`~repro.experiments.backend.open_backend`.
+    ``root=None`` disables the persistent layer (memory-only, the
+    behaviour of the old in-process dict).  Instances are cheap; every
+    instance pointed at the same location shares the persistent layer.
+    Writes are atomic on every backend; a corrupt or truncated entry is a
+    miss, not a crash.
     """
 
-    #: Filename suffix for this store's entries (also what ``clear`` globs).
+    #: Filename suffix for this store's entries (also what ``clear`` removes).
     suffix = ".bin"
 
     def __init__(
-        self, root: str | Path | None | EllipsisType = ..., memory: bool = True
+        self,
+        root: str | Path | StoreBackend | None | EllipsisType = ...,
+        memory: bool = True,
     ) -> None:
         if root is ...:
             root = default_cache_dir()
-        self.root: Path | None = Path(root) if root is not None else None
+        self.backend: StoreBackend | None = open_backend(root) if root is not None else None
         self._memory: dict[str, Any] | None = {} if memory else None
         self.hits = 0
         self.misses = 0
@@ -220,27 +191,71 @@ class KeyedStore:
 
     # -- helpers --------------------------------------------------------------
 
+    @property
+    def root(self) -> Path | str | None:
+        """The store locator: a directory :class:`Path`, a URL string, or
+        ``None`` for a memory-only store.
+
+        Feeding it back into another store (``ResultStore(root=cache.root)``)
+        or into a worker process (``str(cache.root)``) reopens the same
+        persistent layer whatever the backend is.
+        """
+        if self.backend is None:
+            return None
+        if isinstance(self.backend, LocalBackend):
+            return self.backend.root
+        return self.backend.location
+
+    def _entry_name(self, key: str) -> str:
+        return f"{key}{self.suffix}"
+
     def path(self, key: str) -> Path | None:
-        return self.root / f"{key}{self.suffix}" if self.root is not None else None
+        """Deprecated: the on-disk path of one entry, or ``None``.
+
+        This leaked the backend -- a remote store entry has no
+        :class:`Path`.  Use :meth:`contains` for existence and
+        :meth:`get_raw` for the raw bytes; direct mutation should go
+        through :attr:`backend`.  Kept as a warning shim for one release;
+        returns ``None`` for memory-only *and* remote stores.
+        """
+        warnings.warn(
+            "KeyedStore.path() is deprecated (it assumes a local-filesystem "
+            "backend); use contains()/get_raw() or the backend attribute",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if isinstance(self.backend, LocalBackend):
+            return self.backend.root / self._entry_name(key)
+        return None
 
     def contains(self, key: str) -> bool:
         if self._memory is not None and key in self._memory:
             return True
-        p = self.path(key)
-        return p is not None and p.is_file()
+        return self.backend is not None and self.backend.contains(self._entry_name(key))
 
     __contains__ = contains
 
     # -- lookup / store ---------------------------------------------------------
 
+    def get_raw(self, key: str) -> bytes | None:
+        """The entry's raw encoded bytes from the persistent layer, or ``None``.
+
+        Bypasses both the memory layer and the codec: this is "what is
+        actually stored", for callers that ship entries around (export,
+        push/pull) or inspect them without trusting the decode.
+        """
+        if self.backend is None:
+            return None
+        return self.backend.get(self._entry_name(key))
+
     def get(self, key: str) -> Any | None:
         if self._memory is not None and key in self._memory:
             self.hits += 1
             return self._memory[key]
-        p = self.path(key)
-        if p is not None and p.is_file():
+        raw = self.backend.get(self._entry_name(key)) if self.backend is not None else None
+        if raw is not None:
             try:
-                value = self._decode(p.read_bytes())
+                value = self._decode(raw)
             except Exception:
                 # Truncated/incompatible entry: treat as a miss and recompute.
                 self.misses += 1
@@ -255,18 +270,16 @@ class KeyedStore:
     def put(self, key: str, value: Any) -> None:
         if self._memory is not None:
             self._memory[key] = value
-        p = self.path(key)
-        if p is not None:
-            atomic_write_bytes(p, self._encode(value))
+        if self.backend is not None:
+            self.backend.put(self._entry_name(key), self._encode(value))
         self.stores += 1
 
     def invalidate(self, key: str) -> None:
         """Drop one entry from both layers (e.g. ``repro sweep --refresh``)."""
         if self._memory is not None:
             self._memory.pop(key, None)
-        p = self.path(key)
-        if p is not None and p.is_file():
-            p.unlink()
+        if self.backend is not None:
+            self.backend.delete(self._entry_name(key))
 
     def clear(self) -> None:
         """Drop every entry, sweep orphaned temp files, reset the counters.
@@ -280,10 +293,10 @@ class KeyedStore:
         """
         if self._memory is not None:
             self._memory.clear()
-        if self.root is not None and self.root.is_dir():
-            for p in self.root.glob(f"*{self.suffix}"):
-                p.unlink()
-            sweep_stale_tmp(self.root)
+        if self.backend is not None:
+            for name in self.backend.list(self.suffix):
+                self.backend.delete(name)
+            self.backend.sweep_tmp()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -325,38 +338,59 @@ class ResultStore(KeyedStore):
         return json.loads(raw)
 
 
-def export_entries(
-    root: str | Path, tar_path: str | Path, keys: Iterable[str] | None = None
+def _store_entry_names(
+    backend: StoreBackend, keys: Iterable[str] | None
 ) -> list[str]:
-    """Tar up cache-directory entries so a warm host can seed cold shards.
+    """The sorted store-entry names to export/copy: real entries only,
+    optionally restricted to the given keys (filename stems)."""
+    wanted = None if keys is None else set(keys)
+    names: list[str] = []
+    for name in backend.list():
+        if name in _RESERVED_NAMES:
+            continue
+        stem, dot, suffix_part = name.rpartition(".")
+        if dot != "." or "." + suffix_part not in _ENTRY_SUFFIXES:
+            continue
+        if wanted is not None and stem not in wanted:
+            continue
+        names.append(name)
+    return names
 
-    ``keys=None`` exports every store entry under ``root``; otherwise only
-    entries whose key (filename stem) is in ``keys``.  Returns the archive
-    member names (flat basenames -- the archive has no directory structure,
-    so it can be imported into any cache root).  Temp files and anything
-    that is not a store entry are never exported.
+
+def export_entries(
+    root: str | Path | StoreBackend, tar_path: str | Path, keys: Iterable[str] | None = None
+) -> list[str]:
+    """Tar up store entries so a warm host can seed cold shards.
+
+    ``root`` is any store locator (directory, URL, or open backend);
+    ``keys=None`` exports every store entry, otherwise only entries whose
+    key (filename stem) is in ``keys``.  Returns the archive member names
+    (flat basenames -- the archive has no directory structure, so it can
+    be imported into any store).  Temp files and anything that is not a
+    store entry are never exported.
     """
+    import io
     import tarfile
 
-    root = Path(root)
+    backend = open_backend(root)
     tar_path = Path(tar_path)
-    wanted = None if keys is None else set(keys)
     members: list[str] = []
     tar_path.parent.mkdir(parents=True, exist_ok=True)
     with tarfile.open(tar_path, "w") as tar:
-        if root.is_dir():
-            for p in sorted(root.iterdir()):
-                if not p.is_file() or p.suffix not in _ENTRY_SUFFIXES:
-                    continue
-                if wanted is not None and p.stem not in wanted:
-                    continue
-                tar.add(p, arcname=p.name)
-                members.append(p.name)
+        for name in _store_entry_names(backend, keys):
+            entry = backend.get_entry(name)
+            if entry is None:
+                continue  # removed between list and read; it is simply gone
+            info = tarfile.TarInfo(name=name)
+            info.size = entry.size
+            info.mtime = int(entry.mtime)
+            tar.addfile(info, io.BytesIO(entry.data))
+            members.append(name)
     return members
 
 
-def import_entries(root: str | Path, tar_path: str | Path) -> list[str]:
-    """Unpack :func:`export_entries` archives into a cache directory.
+def import_entries(root: str | Path | StoreBackend, tar_path: str | Path) -> list[str]:
+    """Unpack :func:`export_entries` archives into a store.
 
     Only regular members whose name looks like a store entry are
     extracted.  :func:`export_entries` archives are flat basenames, so a
@@ -366,14 +400,15 @@ def import_entries(root: str | Path, tar_path: str | Path) -> list[str]:
     front -- before anything is extracted -- by :func:`validate_flat_name`
     rather than silently flattening or skipping it.  Flat non-entry members
     (wrong suffix, links) are tolerated and skipped, as everywhere else
-    stores are read.  Entries land through :func:`atomic_write_bytes`, the
-    same protocol concurrent sweep workers use, so importing into a live
-    cache directory is safe.  Returns the imported entry names.
+    stores are read.  Entries land through the backend's atomic ``put``,
+    the same protocol concurrent sweep workers use, so importing into a
+    live store is safe.  Returns the imported entry names.
     """
     import tarfile
 
-    root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
+    backend = open_backend(root)
+    if isinstance(backend, LocalBackend):
+        backend.root.mkdir(parents=True, exist_ok=True)
     imported: list[str] = []
     with tarfile.open(tar_path, "r") as tar:
         members = tar.getmembers()
@@ -383,12 +418,40 @@ def import_entries(root: str | Path, tar_path: str | Path) -> list[str]:
             name = member.name
             if not member.isreg() or Path(name).suffix not in _ENTRY_SUFFIXES:
                 continue
+            if name in _RESERVED_NAMES:
+                continue  # coordination metadata from a dual-role store
             fh = tar.extractfile(member)
             if fh is None:
                 continue
-            atomic_write_bytes(root / name, fh.read())
+            backend.put(name, fh.read())
             imported.append(name)
     return imported
+
+
+def copy_entries(
+    src: str | Path | StoreBackend,
+    dst: str | Path | StoreBackend,
+    keys: Iterable[str] | None = None,
+) -> list[str]:
+    """Copy store entries between two stores (any backend combination).
+
+    The store-to-store transfer behind ``repro cache export URL`` (push)
+    and ``repro cache import URL`` (pull): the same entry filter as the
+    tar path, no intermediate archive.  Existing destination entries are
+    overwritten (entries are content-keyed, so "overwrite" means
+    "identical bytes" unless one side is corrupt).  Returns the copied
+    entry names.
+    """
+    src_backend = open_backend(src)
+    dst_backend = open_backend(dst)
+    copied: list[str] = []
+    for name in _store_entry_names(src_backend, keys):
+        data = src_backend.get(name)
+        if data is None:
+            continue  # removed between list and read; it is simply gone
+        dst_backend.put(name, data)
+        copied.append(name)
+    return copied
 
 
 _DEFAULT_CACHE: ProfileCache | None = None

@@ -1,21 +1,23 @@
-"""Work-stealing sweep coordination over a shared lease directory.
+"""Work-stealing sweep coordination over a shared lease store.
 
 The static multi-host layer (``--shard K/N``, PRs 3-4) fixes each
 scenario's owner up front -- balanced in count or in *predicted* cost.
 Either way the partition is a bet: when one shard's estimate is wrong, or
 one host is simply slower, its peers finish and idle while it grinds on.
 This module replaces the bet with a runtime market.  Workers pointed at
-one shared ``--coordinate`` directory *claim* scenarios as they go:
+one shared ``--coordinate`` store *claim* scenarios as they go:
 
-* a claim is one atomic ``O_CREAT | O_EXCL`` creation of
-  ``<scenario_key>.lease`` -- the filesystem is the arbiter, so exactly
-  one worker wins no matter how many race (same discipline as the
-  :class:`~repro.experiments.cache.KeyedStore` atomic writes, and the
+* a claim is one atomic create-exclusive of ``<scenario_key>.lease``
+  through the store backend -- the store is the arbiter, so exactly one
+  worker wins no matter how many race (on a directory that is an
+  ``os.link`` publish; against ``repro store-serve`` it is a conditional
+  ``PUT If-None-Match: *`` -- see :mod:`repro.experiments.backend`); the
   lease filename goes through the same
-  :func:`~repro.experiments.cache.validate_flat_name` gate);
+  :func:`~repro.experiments.backend.validate_flat_name` gate as every
+  store entry;
 * the lease is stamped with holder host/pid and start time, and re-stamped
-  (atomically, via :func:`~repro.experiments.cache.atomic_write_bytes`)
-  by a renewal thread while the scenario runs;
+  (atomically, via the backend's ``put``) by a renewal thread while the
+  scenario runs;
 * a lease that stops being renewed for longer than the TTL -- or whose
   holder is a dead process on this host -- is *stale*: any worker may
   break it and steal the scenario, so a crashed host's work is re-run
@@ -24,6 +26,12 @@ one shared ``--coordinate`` directory *claim* scenarios as they go:
   string, if it failed), which is both the "don't re-run this" signal to
   peers and the progress ledger ``repro steal-status`` renders.
 
+Because every primitive routes through the backend, ``--coordinate``
+accepts a directory (shared-filesystem pools, NFS included) *or* an
+``http://`` URL (a ``repro store-serve`` process), and the protocol is
+identical either way: hosts in a URL-coordinated pool share nothing but
+the server's address.
+
 Workers claim in cost-descending order (LPT dynamically --
 :func:`~repro.experiments.schedule.cost_order`), each streams its own
 JSONL manifest, and ``repro merge`` unions the per-worker manifests
@@ -31,7 +39,7 @@ exactly as it unions shard manifests.  Adding a worker mid-sweep just
 makes the sweep finish sooner; killing one delays its in-flight scenario
 by at most the TTL.
 
-The one unavoidable caveat of lease files: staleness is a *timeout*.  If
+The one unavoidable caveat of leases: staleness is a *timeout*.  If
 the TTL is shorter than a single scenario's wall time (renewals stop only
 when the holder dies, so this takes a paused/SIGSTOPped worker or a
 clock far off), a live scenario can be stolen and run twice.  Both
@@ -53,7 +61,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Iterable
 
-from .cache import atomic_write_bytes, validate_flat_name
+from .backend import LocalBackend, StoreBackend, open_backend, validate_flat_name
 
 __all__ = [
     "DEFAULT_LEASE_TTL",
@@ -71,10 +79,10 @@ __all__ = [
 #: thoroughly wedged) worker ever lets a lease age this far.
 DEFAULT_LEASE_TTL = 300.0
 
-#: Filename suffix of lease files in a coordination directory.
+#: Filename suffix of lease files in a coordination store.
 LEASE_SUFFIX = ".lease"
 
-#: The sweep descriptor the first worker publishes in the directory, so
+#: The sweep descriptor the first worker publishes in the store, so
 #: later workers can verify they are all draining the same sweep.
 SWEEP_FILE = "sweep.json"
 
@@ -92,10 +100,10 @@ def lease_name(key: str) -> str:
     """The lease filename stem for one scenario key.
 
     Content keys are already flat, short, and filesystem-safe and pass
-    through unchanged (the lease directory stays greppable by key).  Any
+    through unchanged (the lease store stays greppable by key).  Any
     other key -- notably the ``!``-prefixed canonical-JSON fallback of an
     unkeyable scenario -- is content-hashed into a safe stem, so even a
-    hostile ``dataset`` name cannot place a lease outside the directory.
+    hostile ``dataset`` name cannot place a lease outside the store.
     The result is re-checked by the same path-validation gate the store
     import path uses.
     """
@@ -167,60 +175,80 @@ def _pid_alive(pid: int) -> bool:
 
 
 class Coordinator:
-    """One worker's handle on a shared work-stealing lease directory.
+    """One worker's handle on a shared work-stealing lease store.
 
-    All coordination state lives in the directory itself -- lease files
+    All coordination state lives in the store itself -- lease entries
     plus one sweep descriptor -- so "the pool" is nothing but however many
-    processes currently point a :class:`Coordinator` at the same path
-    (NFS-style shared filesystems included: every primitive is a single
-    atomic create, rename, or unlink).  Instances are cheap and carry only
-    identity (host/pid, for lease stamps) and the staleness TTL.
+    processes currently point a :class:`Coordinator` at the same locator:
+    a shared directory (NFS-style filesystems included) or the URL of a
+    ``repro store-serve`` process.  Every primitive is a single atomic
+    create-exclusive, replace, or (conditional) delete on the backend.
+    Instances are cheap and carry only identity (host/pid, for lease
+    stamps) and the staleness TTL.
     """
 
     def __init__(
         self,
-        root: str | Path,
+        root: str | Path | StoreBackend,
         ttl: float = DEFAULT_LEASE_TTL,
         host: str | None = None,
         pid: int | None = None,
     ) -> None:
         if ttl <= 0:
             raise ValueError(f"lease TTL must be positive, got {ttl!r}")
-        self.root = Path(root)
+        self.backend = open_backend(root)
         self.ttl = float(ttl)
         self.host = host or socket.gethostname()
         self.pid = int(pid) if pid is not None else os.getpid()
-        self.root.mkdir(parents=True, exist_ok=True)
+        if isinstance(self.backend, LocalBackend):
+            self.backend.root.mkdir(parents=True, exist_ok=True)
         self.claimed = 0  # leases this coordinator won
         self.stolen = 0  # of which were reclaimed stale leases
 
-    # -- lease files -----------------------------------------------------------
+    # -- lease entries ---------------------------------------------------------
+
+    @property
+    def root(self) -> Path | str:
+        """The store locator (directory path or URL) this pool coordinates on."""
+        backend = self.backend
+        return backend.root if isinstance(backend, LocalBackend) else backend.location
+
+    def _lease_entry(self, key: str) -> str:
+        return lease_name(key) + LEASE_SUFFIX
 
     def lease_path(self, key: str) -> Path:
-        return self.root / (lease_name(key) + LEASE_SUFFIX)
+        """The on-disk path of one lease -- local backends only.
+
+        A convenience for tests and local tooling that inspect or corrupt
+        lease files directly; a URL-coordinated pool has no such path, so
+        this raises rather than inventing one.
+        """
+        backend = self.backend
+        if not isinstance(backend, LocalBackend):
+            raise TypeError(
+                f"lease_path() needs a local lease directory, not {backend.location}"
+            )
+        return backend.root / self._lease_entry(key)
 
     def read(self, key: str) -> Lease | None:
         """The scenario's current lease, or ``None`` when unclaimed.
 
-        A lease file that cannot be parsed (a claim crashed inside the
-        create-then-stamp window) degrades to a placeholder lease aged by
-        file mtime: it still blocks claims until the TTL passes, then goes
-        stale and is broken like any other abandoned lease.
+        A lease entry that cannot be parsed (a claim crashed inside the
+        create-then-stamp window, pre-backend layouts only) degrades to a
+        placeholder lease aged by the entry's store mtime: it still blocks
+        claims until the TTL passes, then goes stale and is broken like
+        any other abandoned lease.
         """
-        return self._load(self.lease_path(key), key)
-
-    def _load(self, path: Path, key: str) -> Lease | None:
-        try:
-            raw = path.read_bytes()
-        except OSError:
+        entry = self.backend.get_entry(self._lease_entry(key))
+        if entry is None:
             return None
+        return self._parse(entry.data, entry.mtime, key)
+
+    @staticmethod
+    def _parse(raw: bytes, mtime: float, key: str) -> Lease:
         try:
             return Lease.from_dict(json.loads(raw))
         except Exception:
-            try:
-                mtime = path.stat().st_mtime
-            except OSError:
-                return None
             return Lease(key=key, host="?", pid=0, started=mtime, renewed=mtime)
 
     def held(self, lease: Lease | None) -> bool:
@@ -250,15 +278,14 @@ class Coordinator:
     def claim(self, key: str) -> bool:
         """Try to take the scenario's lease; ``True`` iff this worker holds it.
 
-        The whole race is one ``O_CREAT | O_EXCL`` create: however many
-        workers collide, the filesystem admits exactly one.  On collision
+        The whole race is one create-exclusive on the backend: however
+        many workers collide, the store admits exactly one.  On collision
         the existing lease is inspected -- live or done means lose; stale
         means break it (:meth:`_break`, an exclusive two-phase remove) and
         retry the create once, where the winner among the breakers is
-        again decided by ``O_EXCL``.
+        again decided by the exclusive create.
         """
-        path = self.lease_path(key)
-        if self._create(path, key):
+        if self._create(key):
             self.claimed += 1
             return True
         lease = self.read(key)
@@ -266,10 +293,10 @@ class Coordinator:
         if lease is None:
             pass  # vanished between create and read: just retry the create
         elif self.is_stale(lease):
-            broke = self._break(path, key)
+            broke = self._break(key)
         else:
             return False
-        if self._create(path, key):
+        if self._create(key):
             self.claimed += 1
             # Count a reclaim only when this worker itself removed a stale
             # lease: winning the create after a clean release() (or after a
@@ -279,71 +306,57 @@ class Coordinator:
             return True
         return False
 
-    def _break(self, path: Path, key: str) -> bool:
+    def _break(self, key: str) -> bool:
         """Remove ``key``'s lease iff it is *currently* stale; one breaker
         at a time.
 
-        Breaking is two-phase: win an exclusive ``.break`` marker
-        (``O_EXCL`` again), re-verify staleness *under the marker*, and
-        only then unlink.  The naive read-then-unlink would let a slow
-        breaker -- one that judged the lease stale a moment ago -- delete
-        the fresh lease a faster breaker had already stolen and
-        re-stamped, silently handing one scenario to two workers.  Under
-        the marker that cannot happen: nobody can re-create the lease
-        while the stale file still occupies its path, and nobody else may
-        unlink it.  A marker abandoned by a crashed breaker ages out on
-        the TTL like any lease.  Returns whether the lease was removed;
-        either way the caller's next ``O_EXCL`` create decides ownership.
+        Breaking is two-phase: win an exclusive ``.break`` marker entry
+        (create-exclusive again), re-verify staleness *under the marker*,
+        and only then remove -- with a delete conditional on the content
+        tag read during re-verification.  The naive read-then-unlink would
+        let a slow breaker -- one that judged the lease stale a moment ago
+        -- delete the fresh lease a faster breaker had already stolen and
+        re-stamped, silently handing one scenario to two workers.  The
+        marker excludes every other *breaker*; the conditional delete
+        additionally refuses if the *holder* re-stamped between the
+        re-verify and the remove (exact on the HTTP store, best-effort on
+        a plain directory -- see
+        :meth:`~repro.experiments.backend.LocalBackend.delete_if`).  A
+        marker abandoned by a crashed breaker ages out on the TTL like any
+        lease.  Returns whether the lease was removed; either way the
+        caller's next exclusive create decides ownership.
         """
-        marker = Path(str(path) + ".break")
-        try:
-            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
+        name = self._lease_entry(key)
+        marker = name + ".break"
+        if not self.backend.create(marker, b""):
             # Another breaker is mid-break; clean its marker up only if it
             # provably crashed (aged past the TTL), then let a later claim
             # round retry.
             try:
-                if time.time() - marker.stat().st_mtime > self.ttl:
-                    os.unlink(marker)
+                entry = self.backend.get_entry(marker)
+                if entry is not None and time.time() - entry.mtime > self.ttl:
+                    self.backend.delete(marker)
             except OSError:
                 pass
             return False
-        except FileNotFoundError:
-            return False  # directory vanished; _create handles recreation
-        os.close(fd)
         try:
-            lease = self._load(path, key)
-            if lease is None or not self.is_stale(lease):
-                return False  # already broken/re-claimed by someone faster
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                pass
-            return True
+            entry = self.backend.get_entry(name)
+            if entry is None:
+                return False  # already broken by someone faster
+            lease = self._parse(entry.data, entry.mtime, key)
+            if not self.is_stale(lease):
+                return False  # re-claimed/renewed by someone faster
+            return self.backend.delete_if(name, entry.etag)
         finally:
             try:
-                os.unlink(marker)
-            except FileNotFoundError:
-                pass
+                self.backend.delete(marker)
+            except OSError:
+                pass  # a later breaker's TTL sweep reclaims the marker
 
-    def _create(self, path: Path, key: str) -> bool:
-        try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        except FileNotFoundError:
-            # The directory itself is gone (e.g. swept between sweeps);
-            # recreate and retry the exclusive create once.
-            self.root.mkdir(parents=True, exist_ok=True)
-            try:
-                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
-                return False
+    def _create(self, key: str) -> bool:
         now = time.time()
         stamp = Lease(key=key, host=self.host, pid=self.pid, started=now, renewed=now)
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(stamp.to_json().encode())
-        return True
+        return self.backend.create(self._lease_entry(key), stamp.to_json().encode())
 
     def renew(self, key: str) -> Lease:
         """Re-stamp this worker's lease so it does not age into staleness.
@@ -352,13 +365,13 @@ class Coordinator:
         worker's stamp -- the scenario was stolen (the TTL elapsed, so this
         worker stopped renewing for too long) and the thief owns it now.
         """
-        path = self.lease_path(key)
         lease = self.read(key)
         if not self.held(lease):
             what = "gone" if lease is None else f"held by {lease.holder}"
             raise LeaseLost(f"lease for {key!r} is {what} (holder {self.host}:{self.pid})")
+        assert lease is not None  # held() guarantees it
         fresh = replace(lease, renewed=time.time())
-        atomic_write_bytes(path, fresh.to_json().encode())
+        self.backend.put(self._lease_entry(key), fresh.to_json().encode())
         return fresh
 
     def renewing(self, key: str, interval: float | None = None) -> "_LeaseRenewer":
@@ -386,31 +399,28 @@ class Coordinator:
             done=True,
             error=error,
         )
-        atomic_write_bytes(self.lease_path(key), stamp.to_json().encode())
+        self.backend.put(self._lease_entry(key), stamp.to_json().encode())
 
     def release(self, key: str) -> None:
         """Drop this worker's claim without completing (the interrupt path).
 
-        Unlinks the lease so a peer can claim the scenario immediately
+        Removes the lease so a peer can claim the scenario immediately
         instead of waiting out the TTL.  A lease this worker does not hold
         is left untouched.
         """
         if self.held(self.read(key)):
-            try:
-                os.unlink(self.lease_path(key))
-            except FileNotFoundError:
-                pass
+            self.backend.delete(self._lease_entry(key))
 
     # -- sweep descriptor ------------------------------------------------------
 
     def ensure_sweep(self, keys: Iterable[str], mode: str = "compare") -> dict:
-        """Publish -- or validate against -- the directory's sweep descriptor.
+        """Publish -- or validate against -- the store's sweep descriptor.
 
-        The first worker to arrive writes ``sweep.json`` (atomically and
-        exclusively: full content lands via a hard link, so a racing
+        The first worker to arrive writes ``sweep.json`` through the
+        backend's create-exclusive (atomic full-content publish: a racing
         reader never sees a partial file); every later worker must present
         the same scenario-key digest, sweep mode, and simulation-source
-        fingerprint.  Two hosts accidentally pointing one directory at
+        fingerprint.  Two hosts accidentally pointing one store at
         different sweeps -- or at the same sweep under different simulator
         code -- fail loudly here instead of silently splitting scenarios
         that only one of them expands.
@@ -425,44 +435,31 @@ class Coordinator:
             "n_scenarios": len(distinct),
             "keys_digest": hashlib.sha256("\n".join(distinct).encode()).hexdigest()[:20],
         }
-        path = self.root / SWEEP_FILE
-        existing = self._read_sweep(path)
+        existing = self._read_sweep(self.backend)
         if existing is None:
-            # The temp name embeds this worker's identity; a pathological
-            # hostname must not be able to place it outside the directory.
-            stem = f".sweep-{self.host}-{self.pid}.tmp"
-            validate_flat_name(stem, what="sweep descriptor temp file")
-            tmp = self.root / stem
-            # Raw write, not atomic_write_bytes: publication is the os.link
-            # below (exclusive, full-content), and the link needs a stable
-            # source path this worker alone owns.
-            tmp.write_bytes(json.dumps(mine, sort_keys=True).encode())  # repro: noqa RPR001,RPR105 -- private temp file; the atomic publish is the exclusive os.link below
-            try:
-                os.link(tmp, path)
-            except FileExistsError:
-                pass  # a peer published first; validate against theirs
-            finally:
-                tmp.unlink(missing_ok=True)
-            existing = self._read_sweep(path)
+            # Losing the create race is fine: validate against the winner's.
+            self.backend.create(SWEEP_FILE, json.dumps(mine, sort_keys=True).encode())
+            existing = self._read_sweep(self.backend)
         if existing is None:
-            raise ValueError(f"unreadable sweep descriptor: {path}")
+            raise ValueError(f"unreadable sweep descriptor in {self.root}")
         for field in ("mode", "sim_code", "n_scenarios", "keys_digest"):
             if existing.get(field) != mine[field]:
                 raise ValueError(
-                    f"lease directory {self.root} is coordinating a different "
+                    f"lease store {self.root} is coordinating a different "
                     f"sweep ({field}: {existing.get(field)!r} there vs "
                     f"{mine[field]!r} here); every worker must run the same "
                     "sweep under the same code -- use a fresh --coordinate "
-                    "directory per sweep"
+                    "store per sweep"
                 )
         return existing
 
     @staticmethod
-    def _read_sweep(path: Path) -> dict | None:
-        try:
-            d = json.loads(path.read_bytes())
-        except OSError:
+    def _read_sweep(backend: StoreBackend) -> dict | None:
+        raw = backend.get(SWEEP_FILE)
+        if raw is None:
             return None
+        try:
+            d = json.loads(raw)
         except Exception:
             return None
         return d if isinstance(d, dict) else None
@@ -470,12 +467,13 @@ class Coordinator:
     # -- inspection ------------------------------------------------------------
 
     def leases(self) -> list[Lease]:
-        """Every lease currently in the directory, sorted by filename."""
+        """Every lease currently in the store, sorted by entry name."""
         out = []
-        for path in sorted(self.root.glob(f"*{LEASE_SUFFIX}")):
-            lease = self._load(path, path.name[: -len(LEASE_SUFFIX)])
-            if lease is not None:
-                out.append(lease)
+        for name in self.backend.list(LEASE_SUFFIX):
+            entry = self.backend.get_entry(name)
+            if entry is None:
+                continue  # removed between list and read
+            out.append(self._parse(entry.data, entry.mtime, name[: -len(LEASE_SUFFIX)]))
         return out
 
 
@@ -484,10 +482,11 @@ class _LeaseRenewer:
 
     The renewal cadence is a quarter of the TTL (floored at 50 ms, capped
     at 30 s): several renewals must fail before the lease can go stale, so
-    one slow filesystem hiccup never forfeits a running scenario.  If the
-    lease IS lost (stolen after a genuine stall), ``lost`` flips true and
-    the thread stops -- the run itself continues; its result is still a
-    valid measurement, and the duplicate line is merge-deduped.
+    one slow filesystem or network hiccup never forfeits a running
+    scenario.  If the lease IS lost (stolen after a genuine stall),
+    ``lost`` flips true and the thread stops -- the run itself continues;
+    its result is still a valid measurement, and the duplicate line is
+    merge-deduped.
     """
 
     def __init__(
@@ -526,23 +525,30 @@ class _LeaseRenewer:
 
 
 def steal_status(root: str | Path, ttl: float = DEFAULT_LEASE_TTL) -> dict | None:
-    """Inspect a coordination directory without claiming anything.
+    """Inspect a coordination store without claiming anything.
 
-    Returns ``None`` when ``root`` is not a directory; otherwise a dict:
-    ``sweep`` (the descriptor, or ``None``), ``rows`` (``(Lease, state)``
-    pairs, state one of ``done``/``failed``/``running``/``stale``),
-    ``counts`` per state, and ``unclaimed`` (descriptor scenario count
-    minus leases, when the descriptor exists).  Staleness is judged
-    against ``ttl`` exactly as a stealing worker would judge it.
+    ``root`` is a lease directory or a ``repro store-serve`` URL.  Returns
+    ``None`` when the store does not exist (a missing directory, or a URL
+    that cannot be reached); otherwise a dict: ``sweep`` (the descriptor,
+    or ``None``), ``rows`` (``(Lease, state)`` pairs, state one of
+    ``done``/``failed``/``running``/``stale``), ``counts`` per state, and
+    ``unclaimed`` (descriptor scenario count minus leases, when the
+    descriptor exists).  Staleness is judged against ``ttl`` exactly as a
+    stealing worker would judge it.
     """
-    root = Path(root)
-    if not root.is_dir():
+    backend = open_backend(root)
+    if isinstance(backend, LocalBackend) and not backend.root.is_dir():
         return None
-    coordinator = Coordinator(root, ttl=ttl)
+    coordinator = Coordinator(backend, ttl=ttl)
+    try:
+        all_leases = coordinator.leases()
+        sweep = Coordinator._read_sweep(backend)
+    except OSError:
+        return None  # unreachable store server: same answer as a missing dir
     now = time.time()
     rows: list[tuple[Lease, str]] = []
     counts = {"done": 0, "failed": 0, "running": 0, "stale": 0}
-    for lease in coordinator.leases():
+    for lease in all_leases:
         if lease.done:
             state = "failed" if lease.error is not None else "done"
         elif coordinator.is_stale(lease, now):
@@ -551,7 +557,6 @@ def steal_status(root: str | Path, ttl: float = DEFAULT_LEASE_TTL) -> dict | Non
             state = "running"
         counts[state] += 1
         rows.append((lease, state))
-    sweep = Coordinator._read_sweep(root / SWEEP_FILE)
     unclaimed = None
     if sweep is not None and isinstance(sweep.get("n_scenarios"), int):
         unclaimed = max(0, sweep["n_scenarios"] - len(rows))

@@ -1,0 +1,449 @@
+"""StoreBackend conformance: one contract, every implementation.
+
+The parametrized ``store`` fixture runs the whole suite against a
+:class:`LocalBackend` directory AND a live in-process
+:class:`HTTPBackend` -> ``repro store-serve`` pair, so the two can never
+drift on the semantics the caches and the lease protocol depend on:
+atomic replace, create-exclusive (one winner, full content), sorted
+listings that hide temp files, conditional delete, and flat-name
+validation.  On top of the raw contract, the lease protocol and the
+:class:`KeyedStore` family are exercised over a URL -- including a
+crashed-remote-worker steal recovery where the hosts share nothing but
+the server's address.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+from repro.experiments import (
+    Coordinator,
+    ProfileCache,
+    ResultStore,
+    ScenarioSpec,
+    SweepResult,
+    SweepRunner,
+    copy_entries,
+    export_entries,
+    import_entries,
+    scenario_key,
+    steal_status,
+)
+from repro.experiments.backend import (
+    HTTPBackend,
+    LocalBackend,
+    StoreBackend,
+    etag_of,
+    is_store_url,
+    open_backend,
+)
+from repro.experiments.steal import LEASE_SUFFIX
+from repro.experiments.store_server import serve_store
+from repro.gbdt import TrainParams
+
+
+@pytest.fixture(params=["local", "http"])
+def store(request, tmp_path):
+    """One (backend, served-directory) pair per implementation.
+
+    The directory is handed out alongside the backend so tests can do
+    what only an operator (or a crash) could do: plant temp files, age
+    mtimes, corrupt entries behind the protocol's back.
+    """
+    root = tmp_path / "store"
+    if request.param == "local":
+        yield open_backend(root), root
+        return
+    server = serve_store(root)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    url = f"http://127.0.0.1:{server.server_address[1]}/"
+    try:
+        yield open_backend(url), root
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestConformance:
+    def test_roundtrip_and_entry_metadata(self, store):
+        backend, _ = store
+        assert backend.get("a.json") is None
+        assert backend.get_entry("a.json") is None
+        assert not backend.contains("a.json")
+        backend.put("a.json", b'{"x": 1}')
+        entry = backend.get_entry("a.json")
+        assert entry.data == b'{"x": 1}'
+        assert entry.etag == etag_of(b'{"x": 1}')
+        assert entry.size == 8
+        assert abs(entry.mtime - time.time()) < 60.0
+        assert backend.contains("a.json")
+
+    def test_put_is_replace(self, store):
+        backend, _ = store
+        backend.put("a.bin", b"old")
+        backend.put("a.bin", b"new")
+        assert backend.get("a.bin") == b"new"
+
+    def test_create_is_exclusive_and_full_content(self, store):
+        backend, _ = store
+        assert backend.create("k.lease", b"winner stamp") is True
+        assert backend.create("k.lease", b"loser stamp") is False
+        assert backend.get("k.lease") == b"winner stamp"
+
+    def test_create_race_admits_exactly_one_thread(self, store):
+        """N threads slam one create-exclusive: one winner, intact content."""
+        backend, _ = store
+        n = 8
+        outcomes = [None] * n
+        barrier = threading.Barrier(n)
+
+        def racer(i):
+            barrier.wait()
+            outcomes[i] = backend.create("race.lease", f"stamp-{i}".encode())
+
+        threads = [threading.Thread(target=racer, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(outcomes) == 1, outcomes
+        winner = outcomes.index(True)
+        assert backend.get("race.lease") == f"stamp-{winner}".encode()
+
+    def test_delete(self, store):
+        backend, _ = store
+        backend.put("a.bin", b"x")
+        assert backend.delete("a.bin") is True
+        assert backend.delete("a.bin") is False
+        assert not backend.contains("a.bin")
+
+    def test_delete_if_guards_on_content_tag(self, store):
+        backend, _ = store
+        backend.put("k.lease", b"v1")
+        v1 = backend.get_entry("k.lease").etag
+        backend.put("k.lease", b"v2")  # re-stamped since the read
+        assert backend.delete_if("k.lease", v1) is False
+        assert backend.get("k.lease") == b"v2"  # survived the slow deleter
+        v2 = backend.get_entry("k.lease").etag
+        assert backend.delete_if("k.lease", v2) is True
+        assert backend.delete_if("k.lease", v2) is False  # already gone
+
+    def test_list_is_sorted_filtered_and_hides_tmp(self, store):
+        backend, root = store
+        for name in ("b.json", "a.pkl", "c.json"):
+            backend.put(name, b"x")
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "inflight123.tmp").write_bytes(b"partial")
+        assert backend.list() == ["a.pkl", "b.json", "c.json"]
+        assert backend.list(".json") == ["b.json", "c.json"]
+        assert backend.list(".lease") == []
+
+    def test_sweep_tmp_reclaims_only_aged_orphans(self, store):
+        backend, root = store
+        root.mkdir(parents=True, exist_ok=True)
+        fresh = root / "fresh999.tmp"
+        fresh.write_bytes(b"maybe in flight")
+        orphan = root / "orphan999.tmp"
+        orphan.write_bytes(b"abandoned")
+        os.utime(orphan, (0, 0))
+        assert backend.sweep_tmp() == 1
+        assert fresh.exists() and not orphan.exists()
+
+    def test_hostile_names_are_rejected_not_stored(self, store):
+        backend, root = store
+        for evil in ("../escape.pkl", "sub/x.json", ".", ".."):
+            with pytest.raises(ValueError, match="flat filenames"):
+                backend.put(evil, b"payload")
+            with pytest.raises(ValueError, match="flat filenames"):
+                backend.get(evil)
+        assert not (root.parent / "escape.pkl").exists()
+
+    def test_location_reopens_the_same_store(self, store):
+        backend, _ = store
+        backend.put("a.json", b"here")
+        reopened = open_backend(backend.location)
+        assert type(reopened) is type(backend)
+        assert reopened.get("a.json") == b"here"
+
+
+class TestOpenBackend:
+    def test_dispatch(self, tmp_path):
+        assert isinstance(open_backend(tmp_path), LocalBackend)
+        assert isinstance(open_backend(str(tmp_path)), LocalBackend)
+        assert isinstance(open_backend("http://host:1/"), HTTPBackend)
+        assert isinstance(open_backend("HTTPS://host/x"), HTTPBackend)
+        backend = LocalBackend(tmp_path)
+        assert open_backend(backend) is backend
+
+    def test_is_store_url(self, tmp_path):
+        assert is_store_url("http://h:1/") and is_store_url("https://h/")
+        assert not is_store_url(str(tmp_path)) and not is_store_url(tmp_path)
+
+    def test_http_backend_rejects_non_urls(self):
+        with pytest.raises(ValueError, match="store URL"):
+            HTTPBackend("/just/a/path")
+
+
+class TestStoreServerProtocol:
+    """HTTP-only corners of the protocol (no local equivalent)."""
+
+    def test_multi_segment_paths_are_bad_requests(self, store):
+        backend, _ = store
+        if not isinstance(backend, HTTPBackend):
+            pytest.skip("exercises the server's own path validation")
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(backend.base_url + "sub/x.json", timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_listing_carries_etag_and_mtime(self, store):
+        backend, _ = store
+        if not isinstance(backend, HTTPBackend):
+            pytest.skip("reads the raw listing JSON")
+        import urllib.request
+
+        backend.put("a.json", b"x")
+        with urllib.request.urlopen(backend.base_url, timeout=5) as resp:
+            listing = json.loads(resp.read())
+        (entry,) = listing["entries"]
+        assert entry["name"] == "a.json"
+        assert entry["etag"] == etag_of(b"x")
+        assert entry["size"] == 1 and entry["mtime"] > 0
+
+
+class TestLeaseProtocolConformance:
+    """The coordinator's claim/break/done semantics on every backend."""
+
+    def test_claim_done_release_cycle(self, store):
+        backend, _ = store
+        a = Coordinator(backend, ttl=60.0, host="hostA", pid=1)
+        b = Coordinator(backend, ttl=60.0, host="hostB", pid=1)
+        assert a.claim("sk1") and not b.claim("sk1")
+        a.renew("sk1")
+        a.mark_done("sk1")
+        assert not b.claim("sk1")  # completion is permanent
+        assert b.claim("sk2")
+        b.release("sk2")
+        assert a.claim("sk2")
+
+    def test_ttl_stale_lease_is_stolen(self, store):
+        backend, _ = store
+        gone = Coordinator(backend, ttl=0.05, host="crashed-host", pid=1)
+        assert gone.claim("sk1")
+        time.sleep(0.12)
+        thief = Coordinator(backend, ttl=0.05, host="thief-host", pid=1)
+        assert thief.claim("sk1") and thief.stolen == 1
+        assert thief.read("sk1").host == "thief-host"
+
+    def test_fresh_break_marker_blocks_the_steal(self, store):
+        backend, root = store
+        crashed = Coordinator(backend, ttl=0.05, host="crashed-host", pid=1)
+        assert crashed.claim("sk1")
+        time.sleep(0.12)
+        marker = "sk1" + LEASE_SUFFIX + ".break"
+        assert backend.create(marker, b"")  # a peer is mid-break right now
+        thief = Coordinator(backend, ttl=0.05, host="thief-host", pid=1)
+        assert thief.claim("sk1") is False  # marker excluded the break
+
+    def test_aged_break_marker_is_reclaimed(self, store):
+        backend, root = store
+        crashed = Coordinator(backend, ttl=0.05, host="crashed-host", pid=1)
+        assert crashed.claim("sk1")
+        time.sleep(0.12)
+        marker = "sk1" + LEASE_SUFFIX + ".break"
+        assert backend.create(marker, b"")
+        os.utime(root / marker, (0, 0))  # the breaker provably crashed
+        thief = Coordinator(backend, ttl=0.05, host="thief-host", pid=1)
+        thief.claim("sk1")  # first round clears the aged marker
+        assert not backend.contains(marker)
+        assert thief.claim("sk1") is True  # ... and the steal goes through
+
+    def test_slow_breaker_cannot_remove_a_freshly_stolen_lease(self, store):
+        """The conditional delete closes the double-steal hole everywhere."""
+        backend, _ = store
+        crashed = Coordinator(backend, ttl=0.05, host="crashed-host", pid=1)
+        assert crashed.claim("sk1")
+        time.sleep(0.12)
+        fast = Coordinator(backend, ttl=0.05, host="fast-host", pid=1)
+        slow = Coordinator(backend, ttl=0.05, host="slow-host", pid=1)
+        assert slow.is_stale(slow.read("sk1"))  # slow judged it stale ...
+        assert fast.claim("sk1") is True  # ... but fast steals and re-stamps
+        assert slow._break("sk1") is False
+        assert slow.read("sk1").host == "fast-host"
+
+
+def tiny_scenario(seed: int = 1, depth: int = 3) -> ScenarioSpec:
+    return ScenarioSpec(
+        dataset="mq2008",
+        seed=seed,
+        train=TrainParams(n_trees=2, max_depth=depth),
+        systems=("ideal-32-core", "booster"),
+    )
+
+
+@pytest.fixture()
+def fake_runs(monkeypatch):
+    """Replace ``run_scenario`` with an instant fake; returns the call log."""
+    calls: list[str] = []
+    lock = threading.Lock()
+
+    def fake(scenario, cache=None, results=None, mode="compare"):
+        with lock:
+            calls.append(scenario_key(scenario))
+        return SweepResult(
+            scenario=scenario,
+            comparison=None,
+            cache_hit=True,
+            worker_pid=os.getpid(),
+            kind=mode,
+            duration_s=0.01,
+        )
+
+    monkeypatch.setattr(runner_mod, "run_scenario", fake)
+    return calls
+
+
+@pytest.fixture()
+def served_url(tmp_path):
+    """A live store server over a fresh directory; yields its URL."""
+    server = serve_store(tmp_path / "served")
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    yield f"http://127.0.0.1:{server.server_address[1]}/"
+    server.shutdown()
+    server.server_close()
+
+
+class TestStealingOverURL:
+    """Work stealing where the workers share nothing but the server URL."""
+
+    def test_two_workers_split_without_double_running(
+        self, served_url, tmp_path, fake_runs
+    ):
+        scenarios = [tiny_scenario(seed=s, depth=d) for s in (1, 2, 3) for d in (2, 4)]
+        outputs: dict[str, list] = {"a": [], "b": []}
+
+        def worker(name):
+            coordinator = Coordinator(served_url, ttl=60.0, host=f"host-{name}")
+            cache = ProfileCache(root=tmp_path / f"cache-{name}")  # no shared disk
+            runner = SweepRunner(
+                cache=cache, parallel=False, results=ResultStore(root=cache.root)
+            )
+            outputs[name] = list(
+                runner.run_stealing(scenarios, coordinator, poll_interval=0.01)
+            )
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        keys_a = {scenario_key(r.scenario) for r in outputs["a"]}
+        keys_b = {scenario_key(r.scenario) for r in outputs["b"]}
+        assert keys_a.isdisjoint(keys_b)
+        assert keys_a | keys_b == {scenario_key(s) for s in scenarios}
+        assert sorted(fake_runs) == sorted({scenario_key(s) for s in scenarios})
+
+    def test_crashed_remote_worker_is_stolen_from(self, served_url, tmp_path, fake_runs):
+        """A remote host dies mid-scenario; a URL-only peer steals and finishes."""
+        scenarios = [tiny_scenario(seed=s) for s in (1, 2, 3)]
+        crashed = Coordinator(served_url, ttl=0.05, host="crashed-host", pid=1)
+        assert crashed.claim(scenario_key(scenarios[0]))
+        time.sleep(0.12)  # the crash: no renewals ever arrive
+        fresh = Coordinator(served_url, ttl=0.05, host="fresh-host", pid=1)
+        cache = ProfileCache(root=tmp_path / "cache")
+        runner = SweepRunner(
+            cache=cache, parallel=False, results=ResultStore(root=cache.root)
+        )
+        results = list(runner.run_stealing(scenarios, fresh, poll_interval=0.01))
+        assert {scenario_key(r.scenario) for r in results} == {
+            scenario_key(s) for s in scenarios
+        }
+        assert fresh.stolen == 1
+        assert all(lease.done for lease in fresh.leases())
+
+    def test_steal_status_over_url(self, served_url):
+        c = Coordinator(served_url, ttl=60.0, host="hostA", pid=1)
+        c.ensure_sweep(["sk1", "sk2"], mode="compare")
+        c.claim("sk1")
+        c.mark_done("sk1")
+        status = steal_status(served_url, ttl=60.0)
+        assert status["counts"] == {"done": 1, "failed": 0, "running": 0, "stale": 0}
+        assert status["unclaimed"] == 1
+        assert status["sweep"]["n_scenarios"] == 2
+
+    def test_steal_status_unreachable_url_is_none(self):
+        # Port 9 (discard) on loopback: nothing listens there in CI.
+        assert steal_status("http://127.0.0.1:9/") is None
+
+
+class TestKeyedStoreOverURL:
+    def test_profile_and_result_stores_roundtrip(self, served_url):
+        cache = ProfileCache(root=served_url, memory=False)
+        assert cache.root == served_url
+        cache.put("t1", {"weights": [1, 2, 3]})
+        assert cache.get("t1") == {"weights": [1, 2, 3]}
+        assert cache.contains("t1") and not cache.contains("t2")
+        # The root locator reconstructs a sibling store, exactly as
+        # SweepRunner builds its ResultStore from cache.root.
+        results = ResultStore(root=cache.root, memory=False)
+        results.put("s1", {"total": 1.5})
+        assert results.get("s1") == {"total": 1.5}
+        assert results.get_raw("s1") == b'{"total": 1.5}'
+
+    def test_corrupt_remote_entry_is_miss(self, served_url):
+        store = ResultStore(root=served_url, memory=False)
+        store.backend.put("k1" + store.suffix, b"not json {")
+        assert store.get("k1") is None
+        assert store.misses == 1
+
+    def test_clear_and_invalidate(self, served_url):
+        store = ResultStore(root=served_url, memory=False)
+        store.put("k1", {"a": 1})
+        store.put("k2", {"b": 2})
+        store.invalidate("k1")
+        assert not store.contains("k1") and store.contains("k2")
+        store.clear()
+        assert not store.contains("k2")
+
+
+class TestPushPull:
+    def test_copy_entries_roundtrip_through_a_remote_store(self, served_url, tmp_path):
+        warm = tmp_path / "warm"
+        cold = tmp_path / "cold"
+        ProfileCache(root=warm).put("t1", {"w": 1})
+        ResultStore(root=warm).put("s1", {"total": 2.0})
+        pushed = copy_entries(warm, served_url)
+        assert sorted(pushed) == ["s1.json", "t1.pkl"]
+        pulled = copy_entries(served_url, cold)
+        assert sorted(pulled) == ["s1.json", "t1.pkl"]
+        assert ProfileCache(root=cold).get("t1") == {"w": 1}
+        assert ResultStore(root=cold).get("s1") == {"total": 2.0}
+
+    def test_copy_respects_key_filter_and_reserved_names(self, served_url, tmp_path):
+        # A dual-role store: sweep descriptor next to cache entries.
+        Coordinator(served_url, ttl=60.0).ensure_sweep(["sk1"], mode="compare")
+        warm = tmp_path / "warm"
+        ProfileCache(root=warm).put("t1", {"w": 1})
+        ProfileCache(root=warm).put("t2", {"w": 2})
+        assert copy_entries(warm, served_url, keys={"t1"}) == ["t1.pkl"]
+        # Pulling back ignores the coordination metadata.
+        pulled = copy_entries(served_url, tmp_path / "cold")
+        assert pulled == ["t1.pkl"]
+
+    def test_export_import_tar_against_a_remote_store(self, served_url, tmp_path):
+        remote = ProfileCache(root=served_url)
+        remote.put("t1", {"w": 1})
+        tar_path = tmp_path / "warm.tar"
+        assert export_entries(served_url, tar_path) == ["t1.pkl"]
+        cold = tmp_path / "cold"
+        assert import_entries(cold, tar_path) == ["t1.pkl"]
+        assert ProfileCache(root=cold).get("t1") == {"w": 1}

@@ -186,14 +186,17 @@ class TestProfileCache:
         assert not cache.contains(key)
         # A truncated entry is a miss, not a crash.
         train_scenario(TINY, cache)
-        cache.path(key).write_bytes(b"not a pickle")
+        cache.backend.put(key + cache.suffix, b"not a pickle")
         fresh = ProfileCache(root=tmp_path)
         assert fresh.get(key) is None
         assert fresh.misses == 1
 
     def test_memory_only_mode(self):
         cache = ProfileCache(root=None)
-        assert cache.path("k") is None
+        assert cache.backend is None and cache.root is None
+        assert cache.get_raw("k") is None
+        with pytest.warns(DeprecationWarning, match="path\\(\\) is deprecated"):
+            assert cache.path("k") is None
         result = train_scenario(TINY, cache)
         assert train_scenario(TINY, cache) is result
 
@@ -674,7 +677,7 @@ class TestResultStore:
     def test_corrupt_stored_result_is_miss(self, tmp_path):
         first = run_scenario(TINY, ProfileCache(root=tmp_path))
         store = ResultStore(root=tmp_path)
-        store.path(TINY.cache_key()).write_bytes(b"not json {")
+        store.backend.put(TINY.cache_key() + store.suffix, b"not json {")
         again = run_scenario(TINY, ProfileCache(root=tmp_path))
         assert not again.stored and again.ok
         assert {k: v.as_dict() for k, v in again.comparison.systems.items()} == {

@@ -207,7 +207,7 @@ class TestStaleReclaim:
         assert slow.is_stale(slow.read("sk1"))
         assert fast.claim("sk1") is True
         # ... now `slow` finally gets around to breaking: must refuse.
-        assert slow._break(slow.lease_path("sk1"), "sk1") is False
+        assert slow._break("sk1") is False
         assert slow.read("sk1").pid == 1
         assert slow.claim("sk1") is False
 
@@ -686,7 +686,7 @@ class TestStealCLI:
         from repro.cli import main
 
         assert main(["steal-status", str(tmp_path / "nope")]) == 2
-        assert "no such lease directory" in capsys.readouterr().err
+        assert "no such lease store (or unreachable)" in capsys.readouterr().err
 
     def test_restart_with_resume_keeps_manifest_whole(
         self, capsys, monkeypatch, tmp_path
